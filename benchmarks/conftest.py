@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The heavy
+lifting runs exactly once per benchmark (``rounds=1``) because the interesting
+output is the regenerated rows/series, not the wall-clock time of the
+experiment driver; pytest-benchmark still records the timing for reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

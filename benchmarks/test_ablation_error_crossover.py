@@ -1,0 +1,55 @@
+"""Ablation: where the ququart-error crossover sits (EPS model, fine sweep).
+
+A finer-grained, simulation-free version of Figure 9b used to locate the
+error factor at which mixed-radix and full-ququart compilation stop paying
+off; the paper reports 2-4x for mixed-radix and 4-6x for full-ququart.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.strategies import Strategy
+from repro.experiments.sensitivity import run_gate_error_sensitivity
+
+
+def _crossover(series, baseline):
+    """Return the first factor at which the series drops below the baseline."""
+    for factor in sorted(series):
+        if series[factor] < baseline[factor]:
+            return factor
+    return None
+
+
+def test_ablation_error_crossover(once, benchmark):
+    factors = tuple(float(f) for f in (1, 2, 3, 4, 5, 6, 8, 10))
+    results = once(
+        benchmark,
+        run_gate_error_sensitivity,
+        num_qubits=9,
+        error_factors=factors,
+        num_trajectories=0,
+    )
+    series = defaultdict(dict)
+    for factor, evaluation in results:
+        series[evaluation.strategy][factor] = evaluation.metrics.total_eps
+
+    print()
+    print("factor  " + "  ".join(f"{s.name:>16s}" for s in series))
+    for factor in factors:
+        values = "  ".join(f"{series[s][factor]:16.3f}" for s in series)
+        print(f"{factor:6.1f}  {values}")
+
+    baseline = series[Strategy.QUBIT_ONLY]
+    mixed_crossover = _crossover(series[Strategy.MIXED_RADIX_CCZ], baseline)
+    full_crossover = _crossover(series[Strategy.FULL_QUQUART], baseline)
+    print(f"mixed-radix crossover factor: {mixed_crossover}")
+    print(f"full-ququart crossover factor: {full_crossover}")
+
+    # Both strategies eventually cross below the baseline, and the
+    # full-ququart strategy tolerates at least as much gate error as
+    # mixed-radix before doing so (paper: 2-4x vs 4-6x).
+    assert mixed_crossover is not None
+    assert full_crossover is not None
+    assert full_crossover >= mixed_crossover
+    assert mixed_crossover >= 2.0

@@ -1,0 +1,68 @@
+"""Figure 7: simulated fidelity per strategy across circuits and sizes.
+
+Paper shape to reproduce: every mixed-radix and full-ququart strategy beats
+the fully decomposed qubit-only baseline; the iToffoli baseline lands close
+to the mixed-radix strategies; full-ququart compilation is the best overall
+(about 2x / 3x better than qubit-only at 12 qubits in the paper).
+
+The default benchmark sizes stay small (5-9 qubits, few trajectories) so the
+harness runs on a laptop; the improvement factors therefore sit below the
+paper's 12-qubit 2-3x but the ordering — who wins — is the assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies import Strategy
+from repro.experiments.fidelity_sweep import run_fidelity_sweep, summarize_improvements
+
+
+def test_fig7_fidelity_sweep(once, benchmark):
+    evaluations = once(
+        benchmark,
+        run_fidelity_sweep,
+        workloads=("cnu", "qram"),
+        sizes=(5, 7, 9),
+        num_trajectories=15,
+        rng=0,
+    )
+    print()
+    print(f"{'circuit':12s} {'n':>3s} {'strategy':22s} {'fidelity':>9s} {'±':>6s} {'total EPS':>10s}")
+    for evaluation in evaluations:
+        row = evaluation.as_row()
+        print(
+            f"{row['circuit']:12s} {row['num_qubits']:3d} {row['strategy']:22s} "
+            f"{row['fidelity']:9.3f} {row['std_error']:6.3f} {row['total_eps']:10.3f}"
+        )
+    improvements = summarize_improvements(evaluations)
+    print("\nFigure 7e — average fidelity improvement over QUBIT_ONLY (simulated):")
+    for size, by_strategy in improvements.items():
+        summary = ", ".join(f"{name}: {ratio:.2f}x" for name, ratio in sorted(by_strategy.items()))
+        print(f"  {size} qubits: {summary}")
+
+    # Shape assertions use the deterministic EPS estimate at the largest size
+    # (the simulated points carry Monte-Carlo noise at bench-sized trajectory
+    # counts); the simulated improvements are reported above for reference.
+    largest = max(e.num_qubits for e in evaluations)
+    eps = {}
+    for evaluation in evaluations:
+        if evaluation.num_qubits == largest:
+            eps.setdefault(evaluation.strategy, []).append(evaluation.metrics.total_eps)
+    mean_eps = {strategy: sum(values) / len(values) for strategy, values in eps.items()}
+    assert mean_eps[Strategy.MIXED_RADIX_CCZ] > mean_eps[Strategy.QUBIT_ONLY]
+    assert mean_eps[Strategy.MIXED_RADIX_CCX] > mean_eps[Strategy.QUBIT_ONLY]
+    assert mean_eps[Strategy.FULL_QUQUART] > mean_eps[Strategy.QUBIT_ONLY]
+    # The iToffoli baseline lands in the same band as the mixed-radix family.
+    assert mean_eps[Strategy.QUBIT_ITOFFOLI] > 0.6 * mean_eps[Strategy.MIXED_RADIX_CCX]
+    # Simulated fidelities agree with the EPS ordering at least loosely: the
+    # best ququart strategy should not fall below the decomposed baseline.
+    sim = {}
+    for evaluation in evaluations:
+        if evaluation.num_qubits == largest:
+            sim.setdefault(evaluation.strategy, []).append(evaluation.mean_fidelity)
+    best_ququart = max(
+        sum(sim[s]) / len(sim[s]) for s in (Strategy.MIXED_RADIX_CCZ, Strategy.FULL_QUQUART)
+    )
+    baseline = sum(sim[Strategy.QUBIT_ONLY]) / len(sim[Strategy.QUBIT_ONLY])
+    assert best_ququart > baseline - 0.05

@@ -1,0 +1,50 @@
+"""Figure 9b: sensitivity to the ququart gate error rate (Cuccaro adder).
+
+Paper shape: mixed-radix and full-ququart fidelities fall quickly as the
+error of higher-level gates grows, crossing below the qubit-only baseline
+somewhere between 2-4x (mixed-radix) and 4-6x (full-ququart) the qubit gate
+error; the qubit-only strategies are flat because they never leave the
+|0>/|1> subspace.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.strategies import Strategy
+from repro.experiments.sensitivity import run_gate_error_sensitivity
+
+
+def test_fig9b_gate_error_sensitivity(once, benchmark):
+    factors = (1.0, 2.0, 4.0, 6.0, 8.0)
+    results = once(
+        benchmark,
+        run_gate_error_sensitivity,
+        num_qubits=8,
+        error_factors=factors,
+        num_trajectories=10,
+        rng=0,
+    )
+    print()
+    print(f"{'factor':>7s} {'strategy':22s} {'fidelity':>9s} {'total EPS':>10s}")
+    series = defaultdict(dict)
+    for factor, evaluation in results:
+        series[evaluation.strategy][factor] = evaluation
+        print(
+            f"{factor:7.1f} {evaluation.strategy.name:22s} "
+            f"{evaluation.mean_fidelity:9.3f} {evaluation.metrics.total_eps:10.3f}"
+        )
+
+    mixed = series[Strategy.MIXED_RADIX_CCZ]
+    full = series[Strategy.FULL_QUQUART]
+    qubit_only = series[Strategy.QUBIT_ONLY]
+    # Qubit-only strategies are unaffected by the ququart error factor.
+    assert abs(qubit_only[1.0].metrics.total_eps - qubit_only[8.0].metrics.total_eps) < 1e-9
+    # Ququart strategies degrade monotonically in their EPS estimate.
+    assert mixed[1.0].metrics.total_eps > mixed[4.0].metrics.total_eps > mixed[8.0].metrics.total_eps
+    assert full[1.0].metrics.total_eps > full[8.0].metrics.total_eps
+    # At 1x both beat the baseline; at 8x the mixed-radix strategy has crossed
+    # below it (the paper's crossover happens between 2x and 6x).
+    assert mixed[1.0].metrics.total_eps > qubit_only[1.0].metrics.total_eps
+    assert full[1.0].metrics.total_eps > qubit_only[1.0].metrics.total_eps
+    assert mixed[8.0].metrics.total_eps < qubit_only[8.0].metrics.total_eps

@@ -1,0 +1,45 @@
+"""Figure 9d: sensitivity to the CX : CCX ratio of the circuit.
+
+Paper shape: with few CX gates the full-ququart strategy wins; as the CX
+fraction grows the serialization of two-qubit gates on ququarts erodes its
+advantage until the mixed-radix strategy becomes the better choice (around
+60 % CX in the paper); the iToffoli baseline tracks the mixed-radix curve.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.strategies import Strategy
+from repro.experiments.gate_ratio import run_gate_ratio_study
+
+
+def test_fig9d_gate_ratio(once, benchmark):
+    fractions = (0.0, 0.3, 0.6, 0.9)
+    results = once(
+        benchmark,
+        run_gate_ratio_study,
+        num_qubits=8,
+        cx_fractions=fractions,
+        num_gates=24,
+        num_trajectories=10,
+        rng=0,
+    )
+    print()
+    print(f"{'CX frac':>8s} {'strategy':22s} {'fidelity':>9s} {'total EPS':>10s} {'dur (ns)':>9s}")
+    series = defaultdict(dict)
+    for fraction, evaluation in results:
+        series[evaluation.strategy][fraction] = evaluation
+        print(
+            f"{fraction:8.1f} {evaluation.strategy.name:22s} {evaluation.mean_fidelity:9.3f} "
+            f"{evaluation.metrics.total_eps:10.3f} {evaluation.metrics.duration_ns:9.0f}"
+        )
+
+    mixed = series[Strategy.MIXED_RADIX_CCZ]
+    full = series[Strategy.FULL_QUQUART]
+    # With no CX gates the full-ququart strategy has the advantage.
+    assert full[0.0].metrics.total_eps >= mixed[0.0].metrics.total_eps
+    # The full-ququart advantage over mixed-radix shrinks as CX gates dominate.
+    advantage_start = full[0.0].metrics.total_eps - mixed[0.0].metrics.total_eps
+    advantage_end = full[0.9].metrics.total_eps - mixed[0.9].metrics.total_eps
+    assert advantage_end < advantage_start

@@ -1,0 +1,30 @@
+"""Table 1: one- and two-qubit gate durations per environment.
+
+Regenerates the calibrated duration table the compiler uses and cross-checks
+the qualitative relations the paper highlights (internal ququart gates are
+several times faster than qubit-qubit gates; mixed-radix and full-ququart
+gates are slower than both).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import format_table1, table1_rows
+
+
+def test_table1_gate_durations(once, benchmark):
+    rows = once(benchmark, table1_rows)
+    print()
+    print(format_table1())
+
+    durations = {label: duration for _, label, duration in rows}
+    assert len(rows) == 31
+    # Internal (single-ququart) two-qubit gates are ~3-6x faster than the
+    # qubit-qubit CX pulse (Section 3.4's "5x faster" claim).
+    assert durations["CX0"] * 3 < durations["CX2"]
+    assert durations["SWAP_in"] * 6 < durations["SWAP2"]
+    # Mixed-radix and full-ququart pulses are slower than qubit-only ones.
+    assert durations["CX0q"] > durations["CX2"]
+    assert durations["SWAP00"] > durations["SWAP2"]
+    # The ququart-controls-qubit direction is faster than the reverse.
+    assert durations["CX0q"] < durations["CXq0"]
+    assert durations["CX1q"] < durations["CXq1"]

@@ -1,0 +1,26 @@
+"""Table 2: mixed-radix and full-ququart three-qubit gate durations."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import format_table2, table2_rows
+
+
+def test_table2_three_qubit_durations(once, benchmark):
+    rows = once(benchmark, table2_rows)
+    print()
+    print(format_table2())
+
+    durations = {label: duration for _, label, duration in rows}
+    assert len(rows) == 21
+    # Controls-together Toffoli configurations beat split-control ones.
+    assert durations["CCX01q"] < durations["CCXq01"] < durations["CCX1q0"]
+    assert durations["CCX01,0"] < durations["CCX0,01"]
+    # The target-independent CCZ is the fastest three-qubit pulse in both
+    # environments (Section 4.2.2).
+    mixed = {k: v for k, v in durations.items() if "," not in k}
+    full = {k: v for k, v in durations.items() if "," in k}
+    assert min(mixed.values()) == durations["CCZ01q"]
+    assert min(full.values()) == durations["CCZ01,0"]
+    # CSWAP prefers targets encoded together (Section 4.2.3).
+    assert durations["CSWAPq01"] < durations["CSWAP01q"]
+    assert durations["CSWAP1,01"] < durations["CSWAP01,1"]

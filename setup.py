@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` can fall back to the legacy setuptools editable install
+on machines where PEP 660 editable wheels cannot be built (e.g. offline
+environments without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

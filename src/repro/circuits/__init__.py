@@ -1,0 +1,40 @@
+"""Quantum circuit intermediate representation.
+
+The compiler consumes *logical* qubit circuits expressed with this IR and
+produces *physical* scheduled circuits (see :mod:`repro.core.compiler`).
+
+Modules
+-------
+* :mod:`repro.circuits.library` — unitaries and metadata of the supported
+  logical gate set (one-, two- and three-qubit gates),
+* :mod:`repro.circuits.gate` — the :class:`Gate` record,
+* :mod:`repro.circuits.circuit` — the :class:`QuantumCircuit` container,
+* :mod:`repro.circuits.dag` — dependency analysis and as-soon-as-possible
+  scheduling used for depth, duration and idle-time accounting.
+"""
+
+from repro.circuits.gate import Gate
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag, ScheduledGate, schedule_asap
+from repro.circuits.library import (
+    GATE_NUM_QUBITS,
+    SUPPORTED_GATES,
+    gate_num_qubits,
+    gate_unitary,
+    is_three_qubit_gate,
+    is_two_qubit_gate,
+)
+
+__all__ = [
+    "CircuitDag",
+    "GATE_NUM_QUBITS",
+    "Gate",
+    "QuantumCircuit",
+    "SUPPORTED_GATES",
+    "ScheduledGate",
+    "gate_num_qubits",
+    "gate_unitary",
+    "is_three_qubit_gate",
+    "is_two_qubit_gate",
+    "schedule_asap",
+]

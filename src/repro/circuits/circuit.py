@@ -1,0 +1,239 @@
+"""The logical :class:`QuantumCircuit` container.
+
+This is the front-end data structure of the library: workloads
+(:mod:`repro.workloads`) build these circuits, the Quantum Waltz compiler
+(:mod:`repro.core.compiler`) lowers them onto ququart hardware, and the
+ideal statevector evolution implemented here provides the noise-free
+reference states used for fidelity estimation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+from repro.circuits.library import gate_num_qubits
+from repro.qudit.states import apply_unitary, basis_state
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered list of logical qubit gates on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] | None = None, name: str = "circuit"):
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: list[Gate] = []
+        if gates is not None:
+            for gate in gates:
+                self.append(gate)
+
+    # -- construction -------------------------------------------------------
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate, validating its operands against the register size."""
+        if max(gate.qubits) >= self.num_qubits:
+            raise ValueError(
+                f"gate {gate} addresses qubit {max(gate.qubits)} but the circuit "
+                f"has only {self.num_qubits} qubits"
+            )
+        self._gates.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, params: Sequence[float] = ()) -> "QuantumCircuit":
+        """Append a gate by name; returns ``self`` for chaining."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # Named builders for the common gates keep workload code readable.
+    def i(self, q: int) -> "QuantumCircuit":
+        return self.add("I", q)
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.add("X", q)
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.add("Y", q)
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.add("Z", q)
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.add("H", q)
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.add("S", q)
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        return self.add("SDG", q)
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.add("T", q)
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.add("TDG", q)
+
+    def sx(self, q: int) -> "QuantumCircuit":
+        return self.add("SX", q)
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("RX", q, params=(theta,))
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("RY", q, params=(theta,))
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("RZ", q, params=(theta,))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        return self.add("U3", q, params=(theta, phi, lam))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("CX", control, target)
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("CZ", control, target)
+
+    def cs(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("CS", control, target)
+
+    def csdg(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("CSDG", control, target)
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("SWAP", a, b)
+
+    def ccx(self, control0: int, control1: int, target: int) -> "QuantumCircuit":
+        return self.add("CCX", control0, control1, target)
+
+    def ccz(self, a: int, b: int, c: int) -> "QuantumCircuit":
+        return self.add("CCZ", a, b, c)
+
+    def cswap(self, control: int, target0: int, target1: int) -> "QuantumCircuit":
+        return self.add("CSWAP", control, target0, target1)
+
+    def itoffoli(self, control0: int, control1: int, target: int) -> "QuantumCircuit":
+        return self.add("ITOFFOLI", control0, control1, target)
+
+    def extend(self, other: "QuantumCircuit | Iterable[Gate]") -> "QuantumCircuit":
+        """Append every gate of ``other`` (qubit indices are kept as-is)."""
+        gates = other.gates if isinstance(other, QuantumCircuit) else other
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gates in program order."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._gates == other._gates
+
+    def count_ops(self) -> Counter:
+        """Return a Counter of gate names."""
+        return Counter(gate.name for gate in self._gates)
+
+    def num_multiqubit_gates(self) -> int:
+        """Return the number of gates acting on two or more qubits."""
+        return sum(1 for gate in self._gates if gate.num_qubits >= 2)
+
+    def num_three_qubit_gates(self) -> int:
+        """Return the number of three-qubit gates."""
+        return sum(1 for gate in self._gates if gate.num_qubits == 3)
+
+    def depth(self) -> int:
+        """Return the circuit depth (longest chain of dependent gates)."""
+        frontier = [0] * self.num_qubits
+        for gate in self._gates:
+            layer = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = layer
+        return max(frontier, default=0)
+
+    def used_qubits(self) -> set[int]:
+        """Return the set of qubit indices touched by at least one gate."""
+        used: set[int] = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return used
+
+    # -- transformations -----------------------------------------------------
+    def copy(self) -> "QuantumCircuit":
+        return QuantumCircuit(self.num_qubits, self._gates, name=self.name)
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the inverse circuit (gates reversed and inverted).
+
+        Only gates whose inverse is representable in the gate library are
+        supported; parameterized rotations negate their angle, S/T map to
+        their daggers, and self-inverse gates map to themselves.
+        """
+        self_inverse = {"I", "X", "Y", "Z", "H", "CX", "CZ", "SWAP", "CCX", "CCZ", "CSWAP"}
+        dagger_pairs = {"S": "SDG", "SDG": "S", "T": "TDG", "TDG": "T", "CS": "CSDG", "CSDG": "CS"}
+        inverted = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        for gate in reversed(self._gates):
+            if gate.name in self_inverse:
+                inverted.append(gate)
+            elif gate.name in dagger_pairs:
+                inverted.append(Gate(dagger_pairs[gate.name], gate.qubits))
+            elif gate.name in {"RX", "RY", "RZ"}:
+                inverted.append(Gate(gate.name, gate.qubits, (-gate.params[0],)))
+            elif gate.name == "U3":
+                theta, phi, lam = gate.params
+                inverted.append(Gate("U3", gate.qubits, (-theta, -lam, -phi)))
+            else:
+                raise ValueError(f"gate {gate.name} has no library inverse")
+        return inverted
+
+    def remapped(self, mapping: dict[int, int] | Sequence[int], num_qubits: int | None = None) -> "QuantumCircuit":
+        """Return a copy with every gate's qubits translated through ``mapping``."""
+        new_size = num_qubits if num_qubits is not None else self.num_qubits
+        out = QuantumCircuit(new_size, name=self.name)
+        for gate in self._gates:
+            out.append(gate.remapped(mapping))
+        return out
+
+    # -- ideal simulation -----------------------------------------------------
+    def apply_to_state(self, state: np.ndarray) -> np.ndarray:
+        """Apply the circuit to a qubit statevector and return the result."""
+        dims = (2,) * self.num_qubits
+        vec = np.asarray(state, dtype=np.complex128)
+        for gate in self._gates:
+            vec = apply_unitary(vec, gate.unitary(), gate.qubits, dims)
+        return vec
+
+    def statevector(self, initial_state: np.ndarray | None = None) -> np.ndarray:
+        """Return the output statevector, starting from ``|0...0>`` by default."""
+        if initial_state is None:
+            initial_state = basis_state([0] * self.num_qubits, (2,) * self.num_qubits)
+        return self.apply_to_state(initial_state)
+
+    def unitary(self) -> np.ndarray:
+        """Return the full circuit unitary (exponential in qubit count)."""
+        if self.num_qubits > 12:
+            raise ValueError("refusing to build a unitary on more than 12 qubits")
+        dim = 2**self.num_qubits
+        matrix = np.eye(dim, dtype=np.complex128)
+        for col in range(dim):
+            matrix[:, col] = self.apply_to_state(matrix[:, col].copy())
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"gates={len(self._gates)})"
+        )

@@ -1,0 +1,143 @@
+"""Dependency analysis and as-soon-as-possible scheduling.
+
+The paper's evaluation depends on accurate *timing*: gate durations differ by
+an order of magnitude between gate classes (Table 1), and decoherence error is
+accumulated per-qudit according to the exact time each device spends idle
+(Section 6.4).  This module provides a small scheduling engine shared by the
+metrics layer and the trajectory simulator:
+
+* :func:`schedule_asap` assigns a start time to every operation, assuming a
+  device can execute only one operation at a time and operations start as
+  soon as all their operands are free,
+* :class:`CircuitDag` captures the dependency structure of a logical circuit
+  (used by the router's lookahead and by tests on circuit depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+
+__all__ = ["CircuitDag", "ScheduledGate", "schedule_asap"]
+
+OpT = TypeVar("OpT")
+
+
+@dataclass(frozen=True)
+class ScheduledGate(Generic[OpT]):
+    """An operation annotated with its scheduled start and end time."""
+
+    op: OpT
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def schedule_asap(
+    operations: Sequence[OpT],
+    operands: Callable[[OpT], Sequence[Hashable]],
+    duration: Callable[[OpT], float],
+) -> list[ScheduledGate[OpT]]:
+    """Schedule operations as soon as possible on exclusive resources.
+
+    Parameters
+    ----------
+    operations:
+        Operations in program order.
+    operands:
+        Callable returning the resources (e.g. physical device indices) an
+        operation occupies for its whole duration.
+    duration:
+        Callable returning the operation's duration (any consistent unit).
+
+    Returns
+    -------
+    list of ScheduledGate
+        One entry per operation, in the input order, with assigned start
+        times.  Program order is respected per-resource: an operation starts
+        when all of its resources have finished their previous operation.
+    """
+    free_at: dict[Hashable, float] = {}
+    scheduled: list[ScheduledGate[OpT]] = []
+    for op in operations:
+        resources = list(operands(op))
+        if not resources:
+            raise ValueError(f"operation {op!r} declares no operands")
+        start = max((free_at.get(r, 0.0) for r in resources), default=0.0)
+        dur = float(duration(op))
+        if dur < 0:
+            raise ValueError(f"negative duration for operation {op!r}")
+        for r in resources:
+            free_at[r] = start + dur
+        scheduled.append(ScheduledGate(op, start, dur))
+    return scheduled
+
+
+def total_duration(scheduled: Iterable[ScheduledGate]) -> float:
+    """Return the makespan of a schedule (end time of the last operation)."""
+    return max((item.end for item in scheduled), default=0.0)
+
+
+class CircuitDag:
+    """Directed acyclic dependency graph of a logical circuit.
+
+    Nodes are gate positions (integers indexing ``circuit.gates``); an edge
+    ``u -> v`` means gate ``v`` must execute after gate ``u`` because they
+    share at least one qubit.  Only *direct* dependencies are stored (the
+    previous gate on each qubit), which is sufficient for longest-path and
+    front-layer queries.
+    """
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        last_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(circuit.gates):
+            self.graph.add_node(index, gate=gate)
+            for qubit in gate.qubits:
+                if qubit in last_on_qubit:
+                    self.graph.add_edge(last_on_qubit[qubit], index)
+                last_on_qubit[qubit] = index
+
+    # -- queries ------------------------------------------------------------
+    def gate(self, node: int) -> Gate:
+        """Return the gate stored at a node."""
+        return self.graph.nodes[node]["gate"]
+
+    def front_layer(self) -> list[int]:
+        """Return the nodes with no unexecuted predecessors."""
+        return [node for node in self.graph.nodes if self.graph.in_degree(node) == 0]
+
+    def successors(self, node: int) -> list[int]:
+        return list(self.graph.successors(node))
+
+    def longest_path_length(self) -> int:
+        """Return the depth of the circuit measured in gates."""
+        if self.graph.number_of_nodes() == 0:
+            return 0
+        return nx.dag_longest_path_length(self.graph) + 1
+
+    def topological_order(self) -> list[int]:
+        """Return node indices in a valid execution order."""
+        return list(nx.topological_sort(self.graph))
+
+    def layers(self) -> list[list[int]]:
+        """Return gates grouped into parallel layers (ASAP levelling)."""
+        level: dict[int, int] = {}
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        if not level:
+            return []
+        grouped: list[list[int]] = [[] for _ in range(max(level.values()) + 1)]
+        for node, lvl in level.items():
+            grouped[lvl].append(node)
+        return grouped

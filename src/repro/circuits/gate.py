@@ -1,0 +1,71 @@
+"""The :class:`Gate` record used by the circuit IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.library import gate_num_qubits, gate_unitary
+
+__all__ = ["Gate"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One logical gate instance in a :class:`~repro.circuits.circuit.QuantumCircuit`.
+
+    Attributes
+    ----------
+    name:
+        Gate name from :data:`repro.circuits.library.SUPPORTED_GATES`
+        (stored upper-case).
+    qubits:
+        Logical qubit indices the gate acts on, in operator order — for
+        controlled gates the controls come first, then the target(s).
+    params:
+        Rotation angles for parameterized gates.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.upper())
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        expected = gate_num_qubits(self.name)
+        if len(self.qubits) != expected:
+            raise ValueError(
+                f"gate {self.name} expects {expected} qubit(s), got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name} has duplicate operands {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError("qubit indices must be non-negative")
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit operands."""
+        return len(self.qubits)
+
+    def unitary(self) -> np.ndarray:
+        """Return the gate's unitary matrix (operand 0 most significant)."""
+        return gate_unitary(self.name, self.params)
+
+    def remapped(self, mapping: dict[int, int] | Sequence[int]) -> "Gate":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        if isinstance(mapping, dict):
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        else:
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        return Gate(self.name, new_qubits, self.params)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(str(q) for q in self.qubits)
+        if self.params:
+            angles = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({angles}) {args}"
+        return f"{self.name} {args}"

@@ -1,0 +1,200 @@
+"""Logical gate library.
+
+Unitaries and metadata for the qubit gate set the compiler understands.  The
+set follows Section 5.2 of the paper: circuits are decomposed to CX, CCX,
+CCZ or CSWAP plus parameterized single-qubit rotations before mapping, and
+the iToffoli gate is supported for the qubit-only pulse baseline.
+
+All unitaries use the convention that operand 0 is the most significant
+qubit of the matrix's basis ordering (matching
+:func:`repro.qudit.unitaries.embed_qubit_unitary`).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "GATE_NUM_QUBITS",
+    "SUPPORTED_GATES",
+    "gate_num_qubits",
+    "gate_unitary",
+    "is_single_qubit_gate",
+    "is_three_qubit_gate",
+    "is_two_qubit_gate",
+    "controlled",
+]
+
+_SQRT2 = 1.0 / math.sqrt(2.0)
+
+_I2 = np.eye(2, dtype=np.complex128)
+_X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+_Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+_H = np.array([[_SQRT2, _SQRT2], [_SQRT2, -_SQRT2]], dtype=np.complex128)
+_S = np.diag([1.0, 1j]).astype(np.complex128)
+_SDG = np.diag([1.0, -1j]).astype(np.complex128)
+_T = np.diag([1.0, np.exp(1j * np.pi / 4)]).astype(np.complex128)
+_TDG = np.diag([1.0, np.exp(-1j * np.pi / 4)]).astype(np.complex128)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=np.complex128)
+
+
+def controlled(unitary: np.ndarray, num_controls: int = 1) -> np.ndarray:
+    """Return the controlled version of ``unitary`` with leading controls.
+
+    The controls are the most significant qubits; the base unitary acts on
+    the least significant ones only when every control is ``|1>``.
+    """
+    if num_controls < 1:
+        raise ValueError("need at least one control")
+    base_dim = unitary.shape[0]
+    dim = base_dim * (2**num_controls)
+    out = np.eye(dim, dtype=np.complex128)
+    out[dim - base_dim :, dim - base_dim :] = unitary
+    return out
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.diag(
+        [np.exp(-1j * theta / 2.0), np.exp(1j * theta / 2.0)]
+    ).astype(np.complex128)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=np.complex128
+)
+
+# iToffoli: doubly-controlled iX gate (Kim et al. 2022) — applies i*X to the
+# target when both controls are |1>.
+_ITOFFOLI = controlled(1j * _X, num_controls=2)
+
+#: Number of qubit operands of every supported gate name.
+GATE_NUM_QUBITS: dict[str, int] = {
+    "I": 1,
+    "X": 1,
+    "Y": 1,
+    "Z": 1,
+    "H": 1,
+    "S": 1,
+    "SDG": 1,
+    "T": 1,
+    "TDG": 1,
+    "SX": 1,
+    "RX": 1,
+    "RY": 1,
+    "RZ": 1,
+    "U3": 1,
+    "CX": 2,
+    "CZ": 2,
+    "CS": 2,
+    "CSDG": 2,
+    "SWAP": 2,
+    "CCX": 3,
+    "CCZ": 3,
+    "CSWAP": 3,
+    "ITOFFOLI": 3,
+}
+
+#: All gate names understood by the circuit IR and compiler front end.
+SUPPORTED_GATES: frozenset[str] = frozenset(GATE_NUM_QUBITS)
+
+_FIXED_UNITARIES: dict[str, np.ndarray] = {
+    "I": _I2,
+    "X": _X,
+    "Y": _Y,
+    "Z": _Z,
+    "H": _H,
+    "S": _S,
+    "SDG": _SDG,
+    "T": _T,
+    "TDG": _TDG,
+    "SX": _SX,
+    "CX": controlled(_X),
+    "CZ": controlled(_Z),
+    "CS": controlled(_S),
+    "CSDG": controlled(_SDG),
+    "SWAP": _SWAP,
+    "CCX": controlled(_X, num_controls=2),
+    "CCZ": controlled(_Z, num_controls=2),
+    "CSWAP": controlled(_SWAP, num_controls=1),
+    "ITOFFOLI": _ITOFFOLI,
+}
+
+_PARAMETRIC_BUILDERS = {
+    "RX": (_rx, 1),
+    "RY": (_ry, 1),
+    "RZ": (_rz, 1),
+    "U3": (_u3, 3),
+}
+
+
+def gate_num_qubits(name: str) -> int:
+    """Return the number of qubit operands of the named gate."""
+    try:
+        return GATE_NUM_QUBITS[name.upper()]
+    except KeyError:
+        raise ValueError(f"unknown gate {name!r}") from None
+
+
+def is_single_qubit_gate(name: str) -> bool:
+    """Return True if the named gate acts on one qubit."""
+    return gate_num_qubits(name) == 1
+
+
+def is_two_qubit_gate(name: str) -> bool:
+    """Return True if the named gate acts on two qubits."""
+    return gate_num_qubits(name) == 2
+
+
+def is_three_qubit_gate(name: str) -> bool:
+    """Return True if the named gate acts on three qubits."""
+    return gate_num_qubits(name) == 3
+
+
+def gate_unitary(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix of the named gate.
+
+    Parameters
+    ----------
+    name:
+        Gate name (case-insensitive), one of :data:`SUPPORTED_GATES`.
+    params:
+        Rotation angles for the parameterized gates (RX, RY, RZ take one
+        angle, U3 takes three); must be empty for fixed gates.
+    """
+    key = name.upper()
+    if key in _FIXED_UNITARIES:
+        if params:
+            raise ValueError(f"gate {key} takes no parameters")
+        return _FIXED_UNITARIES[key].copy()
+    if key in _PARAMETRIC_BUILDERS:
+        builder, arity = _PARAMETRIC_BUILDERS[key]
+        if len(params) != arity:
+            raise ValueError(f"gate {key} expects {arity} parameter(s), got {len(params)}")
+        return builder(*[float(p) for p in params])
+    raise ValueError(f"unknown gate {name!r}")

@@ -1,0 +1,34 @@
+"""The Quantum Waltz compiler — the paper's primary contribution.
+
+Public entry points:
+
+* :class:`repro.core.compiler.QuantumWaltzCompiler` — compile a logical
+  circuit onto a ququart device under a chosen strategy,
+* :class:`repro.core.strategies.Strategy` — the compilation strategies of
+  Section 5 (qubit-only, iToffoli, mixed-radix variants, full-ququart),
+* :mod:`repro.core.metrics` — gate / coherence / total expected probability
+  of success (EPS) estimators of Section 6.3.
+"""
+
+from repro.core.gateset import ErrorModel, GateClass, GateSet
+from repro.core.physical import PhysicalCircuit, PhysicalOp, Slot
+from repro.core.encoding import Placement
+from repro.core.strategies import Strategy
+from repro.core.compiler import CompilationResult, QuantumWaltzCompiler, compile_circuit
+from repro.core.metrics import CircuitMetrics, evaluate_metrics
+
+__all__ = [
+    "CircuitMetrics",
+    "CompilationResult",
+    "ErrorModel",
+    "GateClass",
+    "GateSet",
+    "PhysicalCircuit",
+    "PhysicalOp",
+    "Placement",
+    "QuantumWaltzCompiler",
+    "Slot",
+    "Strategy",
+    "compile_circuit",
+    "evaluate_metrics",
+]

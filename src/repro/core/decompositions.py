@@ -1,0 +1,151 @@
+"""Three-qubit gate decompositions (Figure 6 of the paper).
+
+These routines operate purely on the logical circuit IR; they are used by
+the qubit-only baselines and by the mixed-radix strategies that transform a
+Toffoli into its CCZ or retargeted forms before emission.
+
+* :func:`ccz_phase_polynomial_line` — CCZ on a line ``a - b - c`` (``b`` in
+  the middle) using 8 nearest-neighbour CX gates and 7 T/T† phases; this is
+  the "eight two-qubit gate" decomposition of Section 5.1.1 / [Shende &
+  Markov 2008].
+* :func:`ccx_line_decomposition` — Toffoli built from the above by
+  conjugating the target with Hadamards (target-independent, Figure 6c).
+* :func:`cswap_decomposition` — CSWAP as CX · CCX · CX.
+* :func:`ccx_itoffoli_decomposition` — Toffoli from the native iToffoli plus
+  a controlled-S† corrective gate (Figure 6d).
+* :func:`retarget_ccx` — the Hadamard re-targeting identity of Figure 6b.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gate import Gate
+
+__all__ = [
+    "ccx_itoffoli_decomposition",
+    "ccx_line_decomposition",
+    "ccz_phase_polynomial_line",
+    "ccz_to_ccx_form",
+    "cswap_decomposition",
+    "retarget_ccx",
+]
+
+
+def ccz_phase_polynomial_line(end_a: int, middle: int, end_c: int) -> list[Gate]:
+    """Return CCZ(a, b, c) using only CX gates between (a, b) and (b, c).
+
+    The construction walks the phase polynomial of CCZ,
+    ``(-1)^{abc} = exp(i pi/4 [a + b + c - (a^b) - (b^c) - (a^c) + (a^b^c)])``,
+    accumulating each parity on the line and applying a T or T† on it.  The
+    result uses 8 CX gates, all between nearest neighbours when the qubits
+    sit on a line with ``middle`` in the centre, and 7 single-qubit phase
+    gates.  CCZ is symmetric, so any operand ordering may be passed.
+    """
+    a, b, c = end_a, middle, end_c
+    if len({a, b, c}) != 3:
+        raise ValueError("CCZ needs three distinct qubits")
+    gates = [
+        Gate("T", (a,)),
+        Gate("T", (b,)),
+        Gate("T", (c,)),
+        # c wire <- b ^ c
+        Gate("CX", (b, c)),
+        Gate("TDG", (c,)),
+        # b wire <- a ^ b
+        Gate("CX", (a, b)),
+        Gate("TDG", (b,)),
+        # c wire <- (b^c) ^ (a^b) = a ^ c
+        Gate("CX", (b, c)),
+        Gate("TDG", (c,)),
+        # b wire restored to b
+        Gate("CX", (a, b)),
+        # c wire <- (a^c) ^ b = a ^ b ^ c
+        Gate("CX", (b, c)),
+        Gate("T", (c,)),
+        # restore c: xor out (a^b)
+        Gate("CX", (a, b)),
+        Gate("CX", (b, c)),
+        Gate("CX", (a, b)),
+    ]
+    return gates
+
+
+def ccx_line_decomposition(control0: int, control1: int, target: int, middle: int | None = None) -> list[Gate]:
+    """Return a Toffoli as H(target) · CCZ-on-a-line · H(target).
+
+    ``middle`` selects which operand sits at the centre of the routed line
+    (any of the three, because CCZ is symmetric); it defaults to ``control1``.
+    """
+    operands = (control0, control1, target)
+    if middle is None:
+        middle = control1
+    if middle not in operands:
+        raise ValueError("middle must be one of the gate operands")
+    ends = [q for q in operands if q != middle]
+    gates = [Gate("H", (target,))]
+    gates.extend(ccz_phase_polynomial_line(ends[0], middle, ends[1]))
+    gates.append(Gate("H", (target,)))
+    return gates
+
+
+def ccz_to_ccx_form(a: int, b: int, c: int, target: int | None = None) -> list[Gate]:
+    """Return CCZ expressed as H(target) · CCX · H(target) (Figure 6c inverse).
+
+    Used when a CCZ appears in a circuit but the execution strategy only has
+    a native CCX form available.
+    """
+    target = c if target is None else target
+    operands = (a, b, c)
+    if target not in operands:
+        raise ValueError("target must be one of the operands")
+    controls = [q for q in operands if q != target]
+    return [
+        Gate("H", (target,)),
+        Gate("CCX", (controls[0], controls[1], target)),
+        Gate("H", (target,)),
+    ]
+
+
+def cswap_decomposition(control: int, target0: int, target1: int) -> list[Gate]:
+    """Return CSWAP as CX(t1, t0) · CCX(c, t0, t1) · CX(t1, t0)."""
+    if len({control, target0, target1}) != 3:
+        raise ValueError("CSWAP needs three distinct qubits")
+    return [
+        Gate("CX", (target1, target0)),
+        Gate("CCX", (control, target0, target1)),
+        Gate("CX", (target1, target0)),
+    ]
+
+
+def ccx_itoffoli_decomposition(control0: int, control1: int, target: int) -> list[Gate]:
+    """Return a Toffoli as CS†(c0, c1) followed by the native iToffoli.
+
+    The iToffoli applies ``i X`` to the target when both controls are |1>;
+    the controlled-S† removes the residual ``i`` phase on the |11> control
+    subspace, so the product equals a plain Toffoli (Figure 6d).
+    """
+    return [
+        Gate("CSDG", (control0, control1)),
+        Gate("ITOFFOLI", (control0, control1, target)),
+    ]
+
+
+def retarget_ccx(control0: int, control1: int, target: int, new_target: int) -> tuple[list[Gate], Gate, list[Gate]]:
+    """Return the Hadamard re-targeting of a Toffoli (Figure 6b).
+
+    ``CCX(c0, c1, t) = [H(c1) H(t)] · CCX(c0, t, c1) · [H(c1) H(t)]`` when
+    ``new_target = c1`` — i.e. the roles of the second control and the target
+    are exchanged by conjugating both with Hadamards.  The function returns
+    ``(pre, gate, post)`` where ``gate`` is the re-targeted Toffoli.
+
+    ``new_target`` must be one of the controls; passing the original target
+    returns the gate unchanged with empty wrappers.
+    """
+    operands = (control0, control1, target)
+    if new_target not in operands:
+        raise ValueError("new_target must be one of the gate operands")
+    if new_target == target:
+        return [], Gate("CCX", (control0, control1, target)), []
+    other_control = control0 if new_target == control1 else control1
+    wrappers = [Gate("H", (new_target,)), Gate("H", (target,))]
+    retargeted = Gate("CCX", (other_control, target, new_target))
+    return list(wrappers), retargeted, list(wrappers)

@@ -1,0 +1,93 @@
+"""The expanded ququart interaction graph (Figure 3 / Section 5.1).
+
+When qubits are encoded two-per-ququart, the *virtual* connectivity between
+qubits is denser than the physical coupling graph: the two qubits inside a
+ququart are connected to each other and to every qubit encoded in any
+neighbouring device.  This module builds that expanded graph over
+:class:`~repro.core.physical.Slot` nodes and provides the triangle-count
+statistics quoted in the paper's connectivity discussion.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from repro.core.physical import Slot
+from repro.topology.device import Device
+
+__all__ = ["InteractionGraph", "build_interaction_graph"]
+
+
+def build_interaction_graph(device: Device) -> nx.Graph:
+    """Return the slot-level interaction graph of a device.
+
+    Nodes are ``Slot(device, slot)`` objects; edges connect the two slots of
+    each transmon (internal edges) and every slot pair across each physical
+    coupler (inter-ququart edges).  Edge attribute ``kind`` is ``"internal"``
+    or ``"external"``.
+    """
+    graph = nx.Graph()
+    for node in device.coupling_graph.nodes:
+        slot0, slot1 = Slot(node, 0), Slot(node, 1)
+        graph.add_node(slot0)
+        graph.add_node(slot1)
+        graph.add_edge(slot0, slot1, kind="internal")
+    for a, b in device.coupling_graph.edges:
+        for sa in (0, 1):
+            for sb in (0, 1):
+                graph.add_edge(Slot(a, sa), Slot(b, sb), kind="external")
+    return graph
+
+
+class InteractionGraph:
+    """Expanded connectivity view over a physical :class:`Device`."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.graph = build_interaction_graph(device)
+        self._device_distance = device.distance_matrix()
+
+    # -- adjacency ----------------------------------------------------------------
+    def are_adjacent(self, a: Slot, b: Slot) -> bool:
+        """Return True if two slots can interact in a single two-device pulse."""
+        return a.device == b.device or self.device.are_coupled(a.device, b.device)
+
+    def slot_distance(self, a: Slot, b: Slot) -> int:
+        """Return the physical distance between the devices hosting two slots."""
+        return self._device_distance[a.device][b.device]
+
+    def neighbors(self, slot: Slot) -> list[Slot]:
+        """Return all slots reachable from ``slot`` with one interaction."""
+        return sorted(self.graph.neighbors(slot))
+
+    def degree(self, slot: Slot) -> int:
+        return self.graph.degree(slot)
+
+    # -- statistics quoted in the paper ---------------------------------------------
+    def count_triangles(self) -> int:
+        """Return the number of triangle subgraphs between encoded qubits.
+
+        Triangles are the structural advantage highlighted by Figure 3: they
+        allow three-qubit interactions to be performed across one physical
+        coupler.  The bare coupling graph of a 2D mesh has none.
+        """
+        triangles = 0
+        for nodes in combinations(self.graph.nodes, 3):
+            if all(self.graph.has_edge(x, y) for x, y in combinations(nodes, 2)):
+                triangles += 1
+        return triangles
+
+    def virtual_edge_count(self) -> int:
+        """Return the number of virtual qubit-qubit connections."""
+        return self.graph.number_of_edges()
+
+    def physical_edge_count(self) -> int:
+        """Return the number of physical couplers."""
+        return self.device.coupling_graph.number_of_edges()
+
+    def connectivity_gain(self) -> float:
+        """Return the ratio of virtual to physical connections."""
+        physical = max(self.physical_edge_count(), 1)
+        return self.virtual_edge_count() / physical

@@ -1,0 +1,173 @@
+"""Initial qubit placement (Section 5.2).
+
+The mapper assigns circuit qubits to physical locations so that frequently
+interacting qubits start close together.  Interaction weights include a
+lookahead discount — interactions in later layers contribute less:
+
+    ``w(i, j) = sum_t o(i, j, t) / t``
+
+where ``t`` is the (1-based) layer index of each gate in which qubits ``i``
+and ``j`` interact.  The first qubit placed is the one with the largest total
+weight; it goes to the centre of the device.  Each following qubit is the
+one most connected to the already-placed set and goes to the free location
+minimising the weighted distance to its placed partners.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+from typing import Mapping
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag
+from repro.core.encoding import Placement
+from repro.core.physical import Slot
+from repro.topology.device import Device
+
+__all__ = [
+    "interaction_weights",
+    "place_one_per_device",
+    "place_two_per_ququart",
+    "central_device",
+]
+
+
+def interaction_weights(circuit: QuantumCircuit) -> dict[tuple[int, int], float]:
+    """Return the lookahead-discounted pairwise interaction weights.
+
+    The result maps unordered qubit pairs (stored as sorted tuples) to their
+    weight ``w(i, j)``.
+    """
+    weights: dict[tuple[int, int], float] = defaultdict(float)
+    layers = CircuitDag(circuit).layers()
+    for layer_index, layer in enumerate(layers, start=1):
+        for node in layer:
+            gate = circuit.gates[node]
+            for a, b in combinations(sorted(gate.qubits), 2):
+                weights[(a, b)] += 1.0 / layer_index
+    return dict(weights)
+
+
+def _pair_weight(weights: Mapping[tuple[int, int], float], a: int, b: int) -> float:
+    if a == b:
+        return 0.0
+    key = (a, b) if a < b else (b, a)
+    return weights.get(key, 0.0)
+
+
+def total_weight(weights: Mapping[tuple[int, int], float], qubit: int, others) -> float:
+    """Return the summed weight between ``qubit`` and each qubit in ``others``."""
+    return sum(_pair_weight(weights, qubit, other) for other in others)
+
+
+def central_device(device: Device) -> int:
+    """Return the most central physical device (minimum total distance)."""
+    distances = device.distance_matrix()
+    return min(
+        device.coupling_graph.nodes,
+        key=lambda node: (sum(distances[node].values()), node),
+    )
+
+
+def _placement_order(num_qubits: int, weights: Mapping[tuple[int, int], float]) -> list[int]:
+    """Return the order in which qubits are placed (most-connected first)."""
+    all_qubits = list(range(num_qubits))
+    remaining = set(all_qubits)
+    first = max(all_qubits, key=lambda q: (total_weight(weights, q, all_qubits), -q))
+    order = [first]
+    remaining.discard(first)
+    while remaining:
+        nxt = max(
+            sorted(remaining),
+            key=lambda q: total_weight(weights, q, order),
+        )
+        order.append(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+def place_one_per_device(
+    circuit: QuantumCircuit,
+    device: Device,
+    weights: Mapping[tuple[int, int], float] | None = None,
+) -> Placement:
+    """Place each circuit qubit alone on a physical device (sparse regimes).
+
+    Qubits sit in slot 1 (the qubit-state slot).  Placement is greedy:
+    the most connected qubit goes to the centre, each next qubit to the free
+    device minimising its weighted distance to already-placed partners.
+    """
+    if circuit.num_qubits > device.num_devices:
+        raise ValueError(
+            f"circuit needs {circuit.num_qubits} devices but the hardware has "
+            f"{device.num_devices}"
+        )
+    weights = weights if weights is not None else interaction_weights(circuit)
+    distances = device.distance_matrix()
+    order = _placement_order(circuit.num_qubits, weights)
+
+    placement = Placement()
+    free_devices = set(device.coupling_graph.nodes)
+    centre = central_device(device)
+    placement.assign(order[0], Slot(centre, 1))
+    free_devices.discard(centre)
+
+    for qubit in order[1:]:
+        def cost(candidate: int) -> float:
+            return sum(
+                _pair_weight(weights, qubit, placed) * distances[candidate][placement.device_of(placed)]
+                for placed in placement.qubits()
+            )
+
+        best = min(sorted(free_devices), key=lambda d: (cost(d), d))
+        placement.assign(qubit, Slot(best, 1))
+        free_devices.discard(best)
+    return placement
+
+
+def place_two_per_ququart(
+    circuit: QuantumCircuit,
+    device: Device,
+    weights: Mapping[tuple[int, int], float] | None = None,
+) -> Placement:
+    """Pack circuit qubits two per ququart (full-ququart regime).
+
+    The greedy procedure mirrors :func:`place_one_per_device` but candidate
+    locations are free *slots*; the distance between slots on the same device
+    is zero, so strongly interacting qubits naturally pair up inside a
+    ququart.
+    """
+    needed_devices = (circuit.num_qubits + 1) // 2
+    if needed_devices > device.num_devices:
+        raise ValueError(
+            f"circuit needs {needed_devices} ququarts but the hardware has "
+            f"{device.num_devices}"
+        )
+    weights = weights if weights is not None else interaction_weights(circuit)
+    distances = device.distance_matrix()
+    order = _placement_order(circuit.num_qubits, weights)
+
+    placement = Placement()
+    free_slots = {
+        Slot(node, slot) for node in device.coupling_graph.nodes for slot in (0, 1)
+    }
+    centre = central_device(device)
+    first_slot = Slot(centre, 0)
+    placement.assign(order[0], first_slot)
+    free_slots.discard(first_slot)
+
+    for qubit in order[1:]:
+        def cost(candidate: Slot) -> float:
+            return sum(
+                _pair_weight(weights, qubit, placed)
+                * distances[candidate.device][placement.device_of(placed)]
+                for placed in placement.qubits()
+            )
+
+        best = min(sorted(free_slots), key=lambda s: (cost(s), s))
+        placement.assign(qubit, best)
+        free_slots.discard(best)
+    return placement

@@ -1,0 +1,108 @@
+"""Expected-probability-of-success (EPS) estimators (Section 6.3).
+
+Two circuit-quality estimates are computed without simulation:
+
+* **gate EPS** — the product of the per-op success probabilities,
+* **coherence EPS** — the probability that no qudit decoheres, modelled as an
+  exponential decay with rate proportional to the highest energy level each
+  device occupies (``rate_k = k / T1``), integrated over the ASAP schedule
+  with the exact per-device idle times.
+
+The total EPS is their product; Figure 8 plots all three for the generalized
+Toffoli circuit and uses them to argue that the simulated-fidelity trends
+extrapolate beyond the memory limits of the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.physical import PhysicalCircuit
+from repro.topology.device import CoherenceModel
+
+__all__ = ["CircuitMetrics", "evaluate_metrics", "coherence_eps", "gate_eps"]
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """Summary statistics of one compiled circuit."""
+
+    gate_eps: float
+    coherence_eps: float
+    total_eps: float
+    duration_ns: float
+    num_ops: int
+    num_two_device_ops: int
+    class_counts: dict
+
+    def as_dict(self) -> dict:
+        """Return a flat dictionary (useful for CSV rows in the benchmarks)."""
+        row = {
+            "gate_eps": self.gate_eps,
+            "coherence_eps": self.coherence_eps,
+            "total_eps": self.total_eps,
+            "duration_ns": self.duration_ns,
+            "num_ops": self.num_ops,
+            "num_two_device_ops": self.num_two_device_ops,
+        }
+        row.update({f"count_{key.value}": value for key, value in self.class_counts.items()})
+        return row
+
+
+def gate_eps(physical: PhysicalCircuit) -> float:
+    """Return the product of per-op success probabilities."""
+    return physical.gate_success_product()
+
+
+def coherence_eps(physical: PhysicalCircuit, coherence: CoherenceModel | None = None) -> float:
+    """Return the probability that no device decoheres during the circuit.
+
+    Device modes (the maximum occupied energy level) start from
+    ``physical.initial_modes`` and change when ops complete, as recorded in
+    each op's ``sets_mode`` annotation.  A device in mode ``k`` accumulates
+    decay at rate ``CoherenceModel.decay_rate(k)`` until its mode changes or
+    the circuit ends.
+    """
+    coherence = coherence or CoherenceModel()
+    schedule = physical.schedule()
+    if not schedule:
+        return 1.0
+    total_duration = max(item.end for item in schedule)
+
+    mode = {device: physical.initial_modes.get(device, 0) for device in range(physical.num_devices)}
+    last_update = {device: 0.0 for device in range(physical.num_devices)}
+    exponent = 0.0
+
+    for item in sorted(schedule, key=lambda entry: entry.end):
+        for device, new_mode in item.op.sets_mode:
+            elapsed = item.end - last_update[device]
+            if elapsed > 0:
+                exponent += coherence.decay_rate(mode[device]) * elapsed
+            mode[device] = new_mode
+            last_update[device] = item.end
+
+    for device in range(physical.num_devices):
+        elapsed = total_duration - last_update[device]
+        if elapsed > 0:
+            exponent += coherence.decay_rate(mode[device]) * elapsed
+    return math.exp(-exponent)
+
+
+def evaluate_metrics(
+    physical: PhysicalCircuit, coherence: CoherenceModel | None = None
+) -> CircuitMetrics:
+    """Return the full metric bundle for a compiled circuit."""
+    coherence = coherence or CoherenceModel()
+    gate = gate_eps(physical)
+    decoherence = coherence_eps(physical, coherence)
+    return CircuitMetrics(
+        gate_eps=gate,
+        coherence_eps=decoherence,
+        total_eps=gate * decoherence,
+        duration_ns=physical.total_duration_ns(),
+        num_ops=len(physical),
+        num_two_device_ops=physical.num_two_device_ops(),
+        class_counts=dict(Counter(physical.count_by_class())),
+    )

@@ -1,0 +1,245 @@
+"""SWAP-based routing on qubit and ququart registers (Section 5.2).
+
+The router moves logical qubits until the operands of the pending gate can
+interact in a single pulse.  Candidate moves are SWAPs between an operand's
+current slot and a slot on a neighbouring device (or the partner slot of the
+same ququart).  Candidates that bring the operands closer are preferred; ties
+are broken with the adaptive *disruption* metric of the paper, which weights
+how much a SWAP stretches the distances to every other qubit the moved data
+still has to interact with:
+
+    ``D(i, j) = sum_k w(i, k) [d(phi'(i), phi(k)) - d(phi(i), phi(k))]
+              + sum_k w(j, k) [d(phi'(j), phi(k)) - d(phi(j), phi(k))]``
+
+(lower is better; ``phi'`` is the placement after the candidate SWAP).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.emitter import CompilationError, OpEmitter
+from repro.core.encoding import Placement
+from repro.core.physical import Slot
+from repro.topology.device import Device
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Bring gate operands together by emitting routing SWAPs."""
+
+    def __init__(
+        self,
+        device: Device,
+        emitter: OpEmitter,
+        weights: Mapping[tuple[int, int], float] | None = None,
+        dense: bool = False,
+        max_steps_factor: int = 12,
+    ):
+        self.device = device
+        self.emitter = emitter
+        self.weights = dict(weights or {})
+        self.dense = dense
+        self.distances = device.distance_matrix()
+        self.max_steps = max_steps_factor * max(device.num_devices, 4)
+
+    # -- helpers ---------------------------------------------------------------------
+    @property
+    def placement(self) -> Placement:
+        return self.emitter.placement
+
+    def _weight(self, a: int, b: int) -> float:
+        if a < 0 or b < 0 or a == b:
+            return 0.0
+        key = (a, b) if a < b else (b, a)
+        return self.weights.get(key, 0.0)
+
+    def _device_distance(self, a: int, b: int) -> int:
+        return self.distances[a][b]
+
+    def qubit_distance(self, qa: int, qb: int) -> int:
+        """Return the physical distance between the devices holding two qubits."""
+        return self._device_distance(self.placement.device_of(qa), self.placement.device_of(qb))
+
+    def gate_cost(self, qubits: Sequence[int]) -> int:
+        """Return the sum of pairwise device distances between gate operands."""
+        return sum(self.qubit_distance(a, b) for a, b in combinations(qubits, 2))
+
+    # -- executability predicates --------------------------------------------------------
+    def pair_executable(self, qa: int, qb: int) -> bool:
+        """Two-qubit gates need their operands within one physical coupler."""
+        return self.qubit_distance(qa, qb) <= 1
+
+    def three_qubit_center(self, qubits: Sequence[int]) -> int | None:
+        """Return an operand adjacent to both others (sparse regime), if any."""
+        for candidate in qubits:
+            others = [q for q in qubits if q != candidate]
+            if all(self.qubit_distance(candidate, other) == 1 for other in others):
+                return candidate
+        return None
+
+    def sparse_three_executable(self, qubits: Sequence[int]) -> bool:
+        """Sparse regimes need the three operand devices to form a path."""
+        return self.three_qubit_center(qubits) is not None
+
+    def dense_three_executable(self, qubits: Sequence[int]) -> bool:
+        """Full-ququart gates need the operands on exactly two adjacent devices."""
+        devices = [self.placement.device_of(q) for q in qubits]
+        unique = set(devices)
+        if len(unique) != 2:
+            return False
+        a, b = sorted(unique)
+        return self.device.are_coupled(a, b)
+
+    def co_located_pair(self, qubits: Sequence[int]) -> tuple[int, int] | None:
+        """Return the pair of operands sharing a device, if any."""
+        for a, b in combinations(qubits, 2):
+            if self.placement.device_of(a) == self.placement.device_of(b):
+                return a, b
+        return None
+
+    # -- candidate moves -----------------------------------------------------------------
+    def _candidate_swaps(self, qubits: Sequence[int]) -> list[tuple[Slot, Slot]]:
+        """Enumerate SWAPs of an operand slot with a slot on an adjacent device."""
+        candidates: list[tuple[Slot, Slot]] = []
+        seen: set[tuple[Slot, Slot]] = set()
+        for qubit in qubits:
+            slot = self.placement.slot_of(qubit)
+            for neighbor in self.device.neighbors(slot.device):
+                slots = (Slot(neighbor, 0), Slot(neighbor, 1)) if self.dense else (Slot(neighbor, 1),)
+                for target in slots:
+                    key = (min(slot, target), max(slot, target))
+                    if key not in seen:
+                        seen.add(key)
+                        candidates.append((slot, target))
+        return candidates
+
+    def _disruption(self, slot_a: Slot, slot_b: Slot) -> float:
+        """Return the adaptive-weight disruption of swapping two slots."""
+        qubit_a = self.placement.qubit_at(slot_a)
+        qubit_b = self.placement.qubit_at(slot_b)
+        total = 0.0
+        for qubit, old_slot, new_slot in (
+            (qubit_a, slot_a, slot_b),
+            (qubit_b, slot_b, slot_a),
+        ):
+            if qubit is None:
+                continue
+            for other in self.placement.qubits():
+                if other in (qubit_a, qubit_b):
+                    continue
+                weight = self._weight(qubit, other)
+                if weight == 0.0:
+                    continue
+                other_device = self.placement.device_of(other)
+                total += weight * (
+                    self._device_distance(new_slot.device, other_device)
+                    - self._device_distance(old_slot.device, other_device)
+                )
+        return total
+
+    def _cost_after(self, qubits: Sequence[int], slot_a: Slot, slot_b: Slot) -> int:
+        """Return the gate cost if the contents of two slots were swapped."""
+        qubit_a = self.placement.qubit_at(slot_a)
+        qubit_b = self.placement.qubit_at(slot_b)
+
+        def device_of(q: int) -> int:
+            if q == qubit_a:
+                return slot_b.device
+            if q == qubit_b:
+                return slot_a.device
+            return self.placement.device_of(q)
+
+        return sum(
+            self._device_distance(device_of(a), device_of(b))
+            for a, b in combinations(qubits, 2)
+        )
+
+    def _apply_best_swap(self, qubits: Sequence[int]) -> None:
+        """Emit the most favourable candidate SWAP for the pending gate."""
+        current = self.gate_cost(qubits)
+        candidates = self._candidate_swaps(qubits)
+        if not candidates:
+            raise CompilationError("no routing candidates available")
+        scored = []
+        for slot_a, slot_b in candidates:
+            new_cost = self._cost_after(qubits, slot_a, slot_b)
+            scored.append((new_cost, self._disruption(slot_a, slot_b), slot_a, slot_b))
+        improving = [item for item in scored if item[0] < current]
+        if improving:
+            improving.sort(key=lambda item: (item[0], item[1], item[2], item[3]))
+            _, _, slot_a, slot_b = improving[0]
+        else:
+            # No single SWAP reduces the total operand distance (rare corner
+            # of the greedy heuristic).  Force progress by moving one operand
+            # a step along the shortest path towards its farthest partner.
+            slot_a, slot_b = self._forced_path_move(qubits)
+        if self.placement.qubit_at(slot_a) is None and self.placement.qubit_at(slot_b) is None:
+            raise CompilationError("routing selected a swap between two empty slots")
+        self.emitter.emit_routing_swap(slot_a, slot_b)
+
+    def _forced_path_move(self, qubits: Sequence[int]) -> tuple[Slot, Slot]:
+        """Return a SWAP moving an operand one step towards its farthest partner."""
+        farthest = max(
+            combinations(qubits, 2), key=lambda pair: self.qubit_distance(*pair)
+        )
+        qa, qb = farthest
+        source = self.placement.slot_of(qa)
+        path = nx.shortest_path(
+            self.device.coupling_graph, source.device, self.placement.device_of(qb)
+        )
+        next_device = path[1]
+        if self.dense:
+            # Prefer a slot that does not displace another operand of the gate.
+            operand_slots = {self.placement.slot_of(q) for q in qubits}
+            options = [Slot(next_device, 0), Slot(next_device, 1)]
+            options.sort(key=lambda s: (s in operand_slots, self.placement.qubit_at(s) is not None, s))
+            return source, options[0]
+        return source, Slot(next_device, 1)
+
+    # -- public routing entry points ----------------------------------------------------------
+    def route_pair(self, qa: int, qb: int) -> None:
+        """Route until a two-qubit gate between ``qa`` and ``qb`` is executable."""
+        steps = 0
+        while not self.pair_executable(qa, qb):
+            self._apply_best_swap((qa, qb))
+            steps += 1
+            if steps > self.max_steps:
+                raise CompilationError(
+                    f"routing of pair ({qa}, {qb}) did not converge in {steps} steps"
+                )
+
+    def route_three_sparse(self, qubits: Sequence[int]) -> int:
+        """Route three operands into a path; return the centre operand."""
+        steps = 0
+        while not self.sparse_three_executable(qubits):
+            self._apply_best_swap(qubits)
+            steps += 1
+            if steps > self.max_steps:
+                raise CompilationError(
+                    f"routing of operands {tuple(qubits)} did not converge in {steps} steps"
+                )
+        center = self.three_qubit_center(qubits)
+        assert center is not None
+        return center
+
+    def route_three_dense(self, qubits: Sequence[int]) -> tuple[int, int]:
+        """Route three operands onto two adjacent ququarts.
+
+        Returns the co-located operand pair.
+        """
+        steps = 0
+        while not self.dense_three_executable(qubits):
+            self._apply_best_swap(qubits)
+            steps += 1
+            if steps > self.max_steps:
+                raise CompilationError(
+                    f"routing of operands {tuple(qubits)} did not converge in {steps} steps"
+                )
+        pair = self.co_located_pair(qubits)
+        assert pair is not None
+        return pair

@@ -1,0 +1,146 @@
+"""Compilation strategies (Section 5 / Figure 7 legend).
+
+Each strategy bundles three choices:
+
+* the *regime* — how logical qubits map to physical devices
+  (``"qubit"``: one per 2-level device, ``"mixed"``: one per 4-level device
+  with temporary encoding around three-qubit gates, ``"full"``: two per
+  ququart for the whole circuit),
+* how three-qubit gates are executed (decomposed, native iToffoli pulse,
+  native CCX / retargeted CCX / CCZ / CSWAP configurations),
+* whether CSWAP gates are kept native and in which orientation (the Figure
+  9a case study).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Strategy", "StrategySpec", "ThreeQubitMode"]
+
+
+class ThreeQubitMode(enum.Enum):
+    """How a strategy lowers three-qubit gates."""
+
+    DECOMPOSE = "decompose"            # 8-CX phase-polynomial decomposition
+    ITOFFOLI = "itoffoli"              # native qubit-only iToffoli pulse
+    NATIVE_CCX = "native_ccx"          # mixed-radix CCX in whatever configuration results
+    NATIVE_CCX_RETARGET = "native_ccx_retarget"  # Hadamard re-targeting to controls-together
+    NATIVE_CCZ = "native_ccz"          # transform CCX -> CCZ, execute CCZ natively
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Static description of a compilation strategy."""
+
+    regime: str                      # "qubit" | "mixed" | "full"
+    three_qubit_mode: ThreeQubitMode
+    native_cswap: bool = False       # keep CSWAP gates native
+    prefer_cswap_targets_together: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.regime not in {"qubit", "mixed", "full"}:
+            raise ValueError(f"unknown regime {self.regime!r}")
+
+    @property
+    def device_dim(self) -> int:
+        """Simulation dimension per device (2 for qubit-only regimes, else 4)."""
+        return 2 if self.regime == "qubit" else 4
+
+    @property
+    def qubits_per_device(self) -> int:
+        """How many logical qubits are packed per device at mapping time."""
+        return 2 if self.regime == "full" else 1
+
+    @property
+    def is_dense(self) -> bool:
+        return self.regime == "full"
+
+
+class Strategy(enum.Enum):
+    """The compilation strategies compared in the paper's evaluation."""
+
+    QUBIT_ONLY = StrategySpec(
+        regime="qubit",
+        three_qubit_mode=ThreeQubitMode.DECOMPOSE,
+        description="Qubit-only baseline: three-qubit gates decomposed to 8 CX",
+    )
+    QUBIT_ITOFFOLI = StrategySpec(
+        regime="qubit",
+        three_qubit_mode=ThreeQubitMode.ITOFFOLI,
+        description="Qubit-only with the native iToffoli pulse (Kim et al.)",
+    )
+    MIXED_RADIX_CCX = StrategySpec(
+        regime="mixed",
+        three_qubit_mode=ThreeQubitMode.NATIVE_CCX,
+        description="Intermediate encoding, CCX in whatever configuration routing yields",
+    )
+    MIXED_RADIX_H = StrategySpec(
+        regime="mixed",
+        three_qubit_mode=ThreeQubitMode.NATIVE_CCX_RETARGET,
+        description="Intermediate encoding, Hadamard-retargeted CCX (controls together)",
+    )
+    MIXED_RADIX_CCZ = StrategySpec(
+        regime="mixed",
+        three_qubit_mode=ThreeQubitMode.NATIVE_CCZ,
+        description="Intermediate encoding, target-independent CCZ",
+    )
+    MIXED_RADIX_CSWAP = StrategySpec(
+        regime="mixed",
+        three_qubit_mode=ThreeQubitMode.NATIVE_CCZ,
+        native_cswap=True,
+        prefer_cswap_targets_together=True,
+        description="Intermediate encoding with native CSWAP pulses (targets together)",
+    )
+    FULL_QUQUART = StrategySpec(
+        regime="full",
+        three_qubit_mode=ThreeQubitMode.NATIVE_CCZ,
+        description="Fully encoded ququarts, target-independent CCZ",
+    )
+    FULL_QUQUART_CSWAP_BASIC = StrategySpec(
+        regime="full",
+        three_qubit_mode=ThreeQubitMode.NATIVE_CCZ,
+        native_cswap=True,
+        description="Fully encoded ququarts with native CSWAP (no orientation preference)",
+    )
+    FULL_QUQUART_CSWAP_TARGETS = StrategySpec(
+        regime="full",
+        three_qubit_mode=ThreeQubitMode.NATIVE_CCZ,
+        native_cswap=True,
+        prefer_cswap_targets_together=True,
+        description="Fully encoded ququarts with native CSWAP, targets kept together",
+    )
+
+    @property
+    def spec(self) -> StrategySpec:
+        return self.value
+
+    @property
+    def regime(self) -> str:
+        return self.value.regime
+
+    @property
+    def is_mixed_radix(self) -> bool:
+        return self.value.regime == "mixed"
+
+    @property
+    def is_full_ququart(self) -> bool:
+        return self.value.regime == "full"
+
+    @property
+    def is_qubit_only(self) -> bool:
+        return self.value.regime == "qubit"
+
+    @classmethod
+    def figure7_strategies(cls) -> list["Strategy"]:
+        """Return the six strategies plotted in Figure 7."""
+        return [
+            cls.QUBIT_ONLY,
+            cls.QUBIT_ITOFFOLI,
+            cls.MIXED_RADIX_CCX,
+            cls.MIXED_RADIX_H,
+            cls.MIXED_RADIX_CCZ,
+            cls.FULL_QUQUART,
+        ]

@@ -1,0 +1,45 @@
+"""Per-table / per-figure evaluation drivers (Section 6 and 7).
+
+Each module regenerates one artifact of the paper's evaluation:
+
+========================  =====================================================
+Module                    Paper artifact
+========================  =====================================================
+:mod:`.tables`            Table 1 and Table 2 (gate durations)
+:mod:`.rb`                Figure 2 (randomized benchmarking of H (x) H)
+:mod:`.fidelity_sweep`    Figure 7a-e (fidelity vs circuit size per strategy)
+:mod:`.eps_study`         Figure 8 (gate / coherence / total EPS)
+:mod:`.cswap_study`       Figure 9a (CSWAP orientations on QRAM)
+:mod:`.sensitivity`       Figure 9b and 9c (gate-error and coherence sweeps)
+:mod:`.gate_ratio`        Figure 9d (CX : CCX ratio)
+========================  =====================================================
+
+All drivers accept size / trajectory-count arguments so the full paper-scale
+sweeps can be launched, while the defaults stay laptop-friendly (the same
+trade-off the paper makes against its 86 GB simulation ceiling).
+"""
+
+from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
+from repro.experiments.tables import format_table1, format_table2
+from repro.experiments.rb import RandomizedBenchmarkingResult, run_interleaved_rb
+from repro.experiments.fidelity_sweep import run_fidelity_sweep, summarize_improvements
+from repro.experiments.eps_study import run_eps_study
+from repro.experiments.cswap_study import run_cswap_study
+from repro.experiments.sensitivity import run_coherence_sensitivity, run_gate_error_sensitivity
+from repro.experiments.gate_ratio import run_gate_ratio_study
+
+__all__ = [
+    "RandomizedBenchmarkingResult",
+    "StrategyEvaluation",
+    "evaluate_strategy",
+    "format_table1",
+    "format_table2",
+    "run_cswap_study",
+    "run_coherence_sensitivity",
+    "run_eps_study",
+    "run_fidelity_sweep",
+    "run_gate_error_sensitivity",
+    "run_gate_ratio_study",
+    "run_interleaved_rb",
+    "summarize_improvements",
+]

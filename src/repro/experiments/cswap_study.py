@@ -1,0 +1,44 @@
+"""Figure 9a: CSWAP orientation case study on the QRAM circuit."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.strategies import Strategy
+from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
+from repro.workloads import qram_circuit
+
+__all__ = ["run_cswap_study", "CSWAP_STUDY_STRATEGIES"]
+
+#: Strategies compared in Figure 9a.
+CSWAP_STUDY_STRATEGIES: tuple[Strategy, ...] = (
+    Strategy.QUBIT_ONLY,
+    Strategy.QUBIT_ITOFFOLI,
+    Strategy.MIXED_RADIX_CCZ,
+    Strategy.MIXED_RADIX_CSWAP,
+    Strategy.FULL_QUQUART,
+    Strategy.FULL_QUQUART_CSWAP_BASIC,
+    Strategy.FULL_QUQUART_CSWAP_TARGETS,
+)
+
+
+def run_cswap_study(
+    sizes: Sequence[int] = (5, 7, 9),
+    strategies: Sequence[Strategy] = CSWAP_STUDY_STRATEGIES,
+    num_trajectories: int = 30,
+    rng: np.random.Generator | int | None = 0,
+) -> list[StrategyEvaluation]:
+    """Compare CSWAP-aware strategies against CCZ decomposition on QRAM."""
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    evaluations = []
+    for size in sizes:
+        circuit = qram_circuit(size)
+        for strategy in strategies:
+            evaluations.append(
+                evaluate_strategy(
+                    circuit, strategy, num_trajectories=num_trajectories, rng=generator
+                )
+            )
+    return evaluations

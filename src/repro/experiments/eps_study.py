@@ -1,0 +1,30 @@
+"""Figure 8: gate / coherence / total EPS breakdown for the generalized Toffoli."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.strategies import Strategy
+from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
+from repro.workloads import generalized_toffoli
+
+__all__ = ["run_eps_study"]
+
+
+def run_eps_study(
+    sizes: Sequence[int] = (5, 9, 13, 17, 21),
+    strategies: Sequence[Strategy] | None = None,
+) -> list[StrategyEvaluation]:
+    """Return EPS estimates for the generalized-Toffoli circuit.
+
+    EPS needs no statevector simulation, so the sweep covers the paper's
+    full 5-21 qubit range cheaply; the benchmark harness prints the gate,
+    coherence and product EPS exactly as Figure 8 plots them.
+    """
+    strategies = list(strategies) if strategies is not None else Strategy.figure7_strategies()
+    evaluations = []
+    for size in sizes:
+        circuit = generalized_toffoli(size)
+        for strategy in strategies:
+            evaluations.append(evaluate_strategy(circuit, strategy, num_trajectories=0))
+    return evaluations

@@ -1,0 +1,88 @@
+"""Figure 7: simulated fidelity versus circuit size per strategy."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.strategies import Strategy
+from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
+from repro.workloads import workload_by_name
+
+__all__ = ["run_fidelity_sweep", "summarize_improvements", "DEFAULT_WORKLOADS"]
+
+#: The four parameterised circuits plotted in Figure 7a-d.
+DEFAULT_WORKLOADS: tuple[str, ...] = ("qram", "cnu", "cuccaro", "select")
+
+
+def run_fidelity_sweep(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    sizes: Sequence[int] = (5, 7, 9),
+    strategies: Sequence[Strategy] | None = None,
+    num_trajectories: int = 30,
+    simulate_mixed_radix_up_to: int = 12,
+    rng: np.random.Generator | int | None = 0,
+) -> list[StrategyEvaluation]:
+    """Run the Figure 7 sweep and return one evaluation per point.
+
+    ``simulate_mixed_radix_up_to`` mirrors the paper's memory ceiling: above
+    that qubit count the mixed-radix strategies fall back to the EPS
+    estimate instead of trajectory simulation (their error bars are missing
+    in the paper for the same reason).
+    """
+    strategies = list(strategies) if strategies is not None else Strategy.figure7_strategies()
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    evaluations: list[StrategyEvaluation] = []
+    for workload in workloads:
+        for size in sizes:
+            circuit = workload_by_name(workload, size)
+            for strategy in strategies:
+                trajectories = num_trajectories
+                if strategy.regime == "mixed" and size > simulate_mixed_radix_up_to:
+                    trajectories = 0
+                evaluations.append(
+                    evaluate_strategy(
+                        circuit,
+                        strategy,
+                        num_trajectories=trajectories,
+                        rng=generator,
+                    )
+                )
+    return evaluations
+
+
+def summarize_improvements(
+    evaluations: Iterable[StrategyEvaluation],
+    baseline: Strategy = Strategy.QUBIT_ONLY,
+) -> dict[int, dict[str, float]]:
+    """Return Figure 7e: average fidelity improvement over the baseline per size.
+
+    The result maps circuit size to ``{strategy name: mean fidelity ratio}``
+    where the ratio is averaged over workloads.
+    """
+    evaluations = list(evaluations)
+    baseline_fidelity: dict[tuple[str, int], float] = {}
+    for evaluation in evaluations:
+        if evaluation.strategy is baseline:
+            baseline_fidelity[(evaluation.circuit_name, evaluation.num_qubits)] = (
+                evaluation.mean_fidelity
+            )
+
+    ratios: dict[int, dict[str, list[float]]] = defaultdict(lambda: defaultdict(list))
+    for evaluation in evaluations:
+        if evaluation.strategy is baseline:
+            continue
+        key = (evaluation.circuit_name, evaluation.num_qubits)
+        reference = baseline_fidelity.get(key)
+        if not reference:
+            continue
+        ratios[evaluation.num_qubits][evaluation.strategy.name].append(
+            evaluation.mean_fidelity / max(reference, 1e-12)
+        )
+
+    return {
+        size: {name: float(np.mean(values)) for name, values in by_strategy.items()}
+        for size, by_strategy in sorted(ratios.items())
+    }

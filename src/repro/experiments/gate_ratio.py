@@ -1,0 +1,44 @@
+"""Figure 9d: sensitivity to the ratio of CX to CCX gates."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.strategies import Strategy
+from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
+from repro.workloads import synthetic_cx_ccx_circuit
+
+__all__ = ["run_gate_ratio_study", "GATE_RATIO_STRATEGIES"]
+
+#: Strategies compared in Figure 9d.
+GATE_RATIO_STRATEGIES: tuple[Strategy, ...] = (
+    Strategy.QUBIT_ONLY,
+    Strategy.QUBIT_ITOFFOLI,
+    Strategy.MIXED_RADIX_CCZ,
+    Strategy.FULL_QUQUART,
+)
+
+
+def run_gate_ratio_study(
+    num_qubits: int = 11,
+    cx_fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    num_gates: int = 30,
+    strategies: Sequence[Strategy] = GATE_RATIO_STRATEGIES,
+    num_trajectories: int = 20,
+    rng: np.random.Generator | int | None = 0,
+) -> list[tuple[float, StrategyEvaluation]]:
+    """Sweep the CX fraction of a synthetic circuit across strategies."""
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    results: list[tuple[float, StrategyEvaluation]] = []
+    for fraction in cx_fractions:
+        circuit = synthetic_cx_ccx_circuit(
+            num_qubits, num_gates=num_gates, cx_fraction=fraction, seed=11
+        )
+        for strategy in strategies:
+            evaluation = evaluate_strategy(
+                circuit, strategy, num_trajectories=num_trajectories, rng=generator
+            )
+            results.append((fraction, evaluation))
+    return results

@@ -1,0 +1,204 @@
+"""Randomized benchmarking of a single ququart (Figure 2).
+
+The paper demonstrates single-ququart control experimentally by running
+two-qubit randomized benchmarking (RB) on one transmon operated as a
+ququart, then interleaved RB (IRB) with the optimal-control ``H (x) H``
+pulse.  Without the physical device we reproduce the *analysis pipeline* on
+a simulated ququart whose per-Clifford error is calibrated to the hardware
+numbers reported in the paper (F_RB ~ 95.8 %, F_HH ~ 96.0 %):
+
+1. sample random two-qubit Clifford-like layers, append the exact inverse,
+2. execute the sequence with depolarizing noise on a 4-level statevector,
+3. fit the survival probability to ``A * alpha**m + B``,
+4. convert the decay to an average gate fidelity
+   (``F = 1 - (1 - alpha)(d - 1) / d`` with ``d = 4``),
+5. repeat with the interleaved gate and extract its specific fidelity
+   ``F_gate = 1 - (1 - alpha_irb / alpha_rb)(d - 1) / d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.circuits.library import gate_unitary
+from repro.noise.channels import sample_depolarizing_error
+from repro.qudit.random import haar_random_unitary
+
+__all__ = ["RandomizedBenchmarkingResult", "run_interleaved_rb", "sample_clifford_layer"]
+
+#: Default per-Clifford depolarizing probability, calibrated so the extracted
+#: average Clifford fidelity matches the paper's hardware result
+#: (F_RB ~ 95.8%): for a ququart depolarizing channel the average gate
+#: infidelity is ~0.8 p, so p = (1 - 0.958) / 0.8.
+DEFAULT_CLIFFORD_ERROR = 0.0525
+#: Default depolarizing probability of the interleaved H (x) H pulse,
+#: calibrated to the paper's F_HH ~ 96.0%.
+DEFAULT_HH_ERROR = 0.050
+
+_GENERATORS = ("H0", "H1", "S0", "S1", "CX01", "CX10")
+
+
+def _generator_unitary(name: str) -> np.ndarray:
+    h = gate_unitary("H")
+    s = gate_unitary("S")
+    cx = gate_unitary("CX")
+    eye = np.eye(2)
+    if name == "H0":
+        return np.kron(h, eye)
+    if name == "H1":
+        return np.kron(eye, h)
+    if name == "S0":
+        return np.kron(s, eye)
+    if name == "S1":
+        return np.kron(eye, s)
+    if name == "CX01":
+        return cx
+    if name == "CX10":
+        swap = gate_unitary("SWAP")
+        return swap @ cx @ swap
+    raise ValueError(f"unknown generator {name!r}")
+
+
+def sample_clifford_layer(rng: np.random.Generator, depth: int = 3) -> np.ndarray:
+    """Return a random two-qubit Clifford-group element (as a 4x4 unitary).
+
+    The element is built as a product of ``depth`` random generators from
+    ``{H, S, CX}`` on the two encoded qubits.  This does not sample the
+    Clifford group exactly uniformly (Qiskit's tables are unavailable
+    offline) but produces the same exponential-decay behaviour for RB.
+    """
+    unitary = np.eye(4, dtype=np.complex128)
+    for _ in range(depth):
+        name = _GENERATORS[int(rng.integers(len(_GENERATORS)))]
+        unitary = _generator_unitary(name) @ unitary
+    return unitary
+
+
+@dataclass
+class RandomizedBenchmarkingResult:
+    """Decay curves and extracted fidelities of an RB + IRB run."""
+
+    depths: list[int]
+    rb_survival: list[float]
+    irb_survival: list[float]
+    rb_decay: float
+    irb_decay: float
+    rb_fidelity: float
+    irb_fidelity: float
+    interleaved_gate_fidelity: float
+
+    def as_dict(self) -> dict:
+        return {
+            "depths": list(self.depths),
+            "rb_survival": list(self.rb_survival),
+            "irb_survival": list(self.irb_survival),
+            "F_RB": self.rb_fidelity,
+            "F_IRB": self.irb_fidelity,
+            "F_HH": self.interleaved_gate_fidelity,
+        }
+
+
+def _run_sequence(
+    length: int,
+    rng: np.random.Generator,
+    error_rate: float,
+    interleaved: np.ndarray | None,
+    interleaved_error: float,
+) -> float:
+    """Run one random sequence and return the ground-state survival probability."""
+    state = np.zeros(4, dtype=np.complex128)
+    state[0] = 1.0
+    total = np.eye(4, dtype=np.complex128)
+
+    def apply(unitary: np.ndarray, error: float) -> None:
+        nonlocal state, total
+        state = unitary @ state
+        total = unitary @ total
+        draw = sample_depolarizing_error((4,), error, rng)
+        if draw is not None:
+            state = draw @ state
+
+    for _ in range(length):
+        clifford = sample_clifford_layer(rng)
+        apply(clifford, error_rate)
+        if interleaved is not None:
+            apply(interleaved, interleaved_error)
+    # Exact recovery operation (the inverse of everything applied so far).
+    recovery = total.conj().T
+    apply(recovery, error_rate)
+    return float(abs(state[0]) ** 2)
+
+
+def _fit_decay(depths: list[int], survival: list[float]) -> float:
+    """Fit ``A * alpha**m + B`` and return the decay parameter ``alpha``."""
+
+    def model(m, amplitude, alpha, offset):
+        return amplitude * alpha**m + offset
+
+    params, _ = curve_fit(
+        model,
+        np.asarray(depths, dtype=float),
+        np.asarray(survival, dtype=float),
+        p0=(0.75, 0.95, 0.25),
+        bounds=([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]),
+        maxfev=20000,
+    )
+    return float(params[1])
+
+
+def run_interleaved_rb(
+    depths: list[int] | None = None,
+    samples_per_depth: int = 10,
+    clifford_error: float = DEFAULT_CLIFFORD_ERROR,
+    interleaved_error: float = DEFAULT_HH_ERROR,
+    rng: np.random.Generator | int | None = None,
+) -> RandomizedBenchmarkingResult:
+    """Run RB and interleaved RB of the H (x) H gate on a simulated ququart."""
+    depths = depths or [1, 5, 10, 20, 40, 60, 80, 100]
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    hh = np.kron(gate_unitary("H"), gate_unitary("H"))
+
+    rb_curve: list[float] = []
+    irb_curve: list[float] = []
+    for depth in depths:
+        rb_curve.append(
+            float(
+                np.mean(
+                    [
+                        _run_sequence(depth, generator, clifford_error, None, 0.0)
+                        for _ in range(samples_per_depth)
+                    ]
+                )
+            )
+        )
+        irb_curve.append(
+            float(
+                np.mean(
+                    [
+                        _run_sequence(depth, generator, clifford_error, hh, interleaved_error)
+                        for _ in range(samples_per_depth)
+                    ]
+                )
+            )
+        )
+
+    dimension = 4
+    rb_alpha = _fit_decay(depths, rb_curve)
+    irb_alpha = _fit_decay(depths, irb_curve)
+    rb_fidelity = 1.0 - (1.0 - rb_alpha) * (dimension - 1) / dimension
+    irb_fidelity = 1.0 - (1.0 - irb_alpha) * (dimension - 1) / dimension
+    ratio = irb_alpha / rb_alpha if rb_alpha > 0 else 0.0
+    gate_fidelity = 1.0 - (1.0 - ratio) * (dimension - 1) / dimension
+    return RandomizedBenchmarkingResult(
+        depths=list(depths),
+        rb_survival=rb_curve,
+        irb_survival=irb_curve,
+        rb_decay=rb_alpha,
+        irb_decay=irb_alpha,
+        rb_fidelity=rb_fidelity,
+        irb_fidelity=irb_fidelity,
+        interleaved_gate_fidelity=gate_fidelity,
+    )

@@ -1,0 +1,47 @@
+"""Regeneration of Table 1 and Table 2 (gate durations)."""
+
+from __future__ import annotations
+
+from repro.pulse.calibration import TABLE1_GROUPS, table1_durations, table2_durations
+
+__all__ = ["format_table1", "format_table2", "table1_rows", "table2_rows"]
+
+
+def table1_rows() -> list[tuple[str, str, float]]:
+    """Return (environment, gate label, duration ns) rows of Table 1."""
+    durations = table1_durations()
+    rows = []
+    for group, labels in TABLE1_GROUPS.items():
+        for label in labels:
+            rows.append((group, label, durations[label]))
+    return rows
+
+
+def table2_rows() -> list[tuple[str, str, float]]:
+    """Return (environment, gate label, duration ns) rows of Table 2."""
+    rows = []
+    for label, duration in table2_durations().items():
+        environment = "full_ququart" if "," in label else "mixed_radix"
+        rows.append((environment, label, duration))
+    return rows
+
+
+def _format(rows: list[tuple[str, str, float]], title: str) -> str:
+    lines = [title, "=" * len(title)]
+    current_group = None
+    for group, label, duration in rows:
+        if group != current_group:
+            lines.append(f"-- {group} --")
+            current_group = group
+        lines.append(f"{label:12s} {duration:7.0f} ns")
+    return "\n".join(lines)
+
+
+def format_table1() -> str:
+    """Return Table 1 as a printable text block."""
+    return _format(table1_rows(), "Table 1: one- and two-qubit gate durations")
+
+
+def format_table2() -> str:
+    """Return Table 2 as a printable text block."""
+    return _format(table2_rows(), "Table 2: three-qubit gate durations")

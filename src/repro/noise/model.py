@@ -1,0 +1,59 @@
+"""Noise model bundling gate errors and decoherence (Sections 6.2, 6.5).
+
+Gate error *rates* are carried by each compiled :class:`PhysicalOp` (they are
+a property of the pulse); the :class:`NoiseModel` decides how those rates are
+turned into stochastic error events and how idle decoherence is applied:
+
+* after every gate, a symmetric depolarizing error is drawn over the devices
+  the gate touched, restricted to each participant's own dimension (a
+  qubit-ququart gate draws from ``P_2 (x) P_4``),
+* before every gate, each participating device suffers amplitude damping for
+  exactly the time it has been idle since its previous gate, using per-level
+  decay rates from the :class:`~repro.topology.device.CoherenceModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.qudit.operators import amplitude_damping_kraus
+from repro.topology.device import CoherenceModel
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass
+class NoiseModel:
+    """Stochastic error configuration for the trajectory simulator."""
+
+    coherence: CoherenceModel = field(default_factory=CoherenceModel)
+    depolarizing_enabled: bool = True
+    amplitude_damping_enabled: bool = True
+
+    def idle_decay_probabilities(self, dim: int, duration_ns: float) -> list[float]:
+        """Return per-level decay probabilities for an idle period."""
+        if duration_ns < 0:
+            raise ValueError("duration must be non-negative")
+        return [
+            1.0 - float(np.exp(-self.coherence.decay_rate(level) * duration_ns))
+            for level in range(1, dim)
+        ]
+
+    def idle_kraus(self, dim: int, duration_ns: float) -> list[np.ndarray]:
+        """Return the amplitude-damping Kraus operators for an idle period."""
+        return amplitude_damping_kraus(dim, self.idle_decay_probabilities(dim, duration_ns))
+
+    def with_coherence(self, coherence: CoherenceModel) -> "NoiseModel":
+        """Return a copy of the model with a different coherence model."""
+        return NoiseModel(
+            coherence=coherence,
+            depolarizing_enabled=self.depolarizing_enabled,
+            amplitude_damping_enabled=self.amplitude_damping_enabled,
+        )
+
+    @classmethod
+    def noiseless(cls) -> "NoiseModel":
+        """Return a model with every error mechanism disabled."""
+        return cls(depolarizing_enabled=False, amplitude_damping_enabled=False)

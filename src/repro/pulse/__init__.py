@@ -1,0 +1,41 @@
+"""Quantum optimal control substrate (Sections 2.3 and 3.3).
+
+The paper synthesises its gate set directly to pulses with Juqbox on a
+coupled-transmon Hamiltonian.  Juqbox (a Julia package) is not available
+offline, so this subpackage implements the closest synthetic equivalent in
+pure numpy/scipy:
+
+* :mod:`repro.pulse.hamiltonian` — the weakly-coupled anharmonic transmon
+  Hamiltonian of Eq. (2), in the rotating frame, with guard levels,
+* :mod:`repro.pulse.pulses` — piecewise-constant control parameterisation
+  with amplitude bounds,
+* :mod:`repro.pulse.grape` — a GRAPE-style gradient optimiser of the unitary
+  overlap fidelity with a leakage penalty (Eq. (1)),
+* :mod:`repro.pulse.synthesis` — gate synthesis and the incremental
+  duration-minimisation search,
+* :mod:`repro.pulse.calibration` — the calibrated durations of Tables 1 and
+  2 used by the compiler, plus helpers to cross-check the synthesiser
+  against them.
+"""
+
+from repro.pulse.hamiltonian import TransmonSystem
+from repro.pulse.pulses import PiecewiseConstantPulse
+from repro.pulse.grape import GrapeOptimizer, GrapeResult
+from repro.pulse.synthesis import PulseSynthesizer, SynthesisResult
+from repro.pulse.calibration import (
+    calibrated_duration,
+    table1_durations,
+    table2_durations,
+)
+
+__all__ = [
+    "GrapeOptimizer",
+    "GrapeResult",
+    "PiecewiseConstantPulse",
+    "PulseSynthesizer",
+    "SynthesisResult",
+    "TransmonSystem",
+    "calibrated_duration",
+    "table1_durations",
+    "table2_durations",
+]

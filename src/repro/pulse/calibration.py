@@ -1,0 +1,108 @@
+"""Calibrated gate durations (Tables 1 and 2) and synthesis cross-checks.
+
+The compiler reads its durations from :mod:`repro.core.gateset`; this module
+re-exports them in table form (used by the Table 1 / Table 2 benchmark
+harnesses) and provides helpers that map gate-set labels to the logical
+unitaries a :class:`~repro.pulse.synthesis.PulseSynthesizer` would need to
+reproduce them on the transmon model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.library import gate_unitary
+from repro.core.gateset import (
+    PAPER_TABLE1_DURATIONS_NS,
+    PAPER_TABLE2_DURATIONS_NS,
+)
+from repro.qudit.unitaries import embed_qubit_unitary
+
+__all__ = [
+    "calibrated_duration",
+    "table1_durations",
+    "table2_durations",
+    "logical_target_for_label",
+    "TABLE1_GROUPS",
+]
+
+#: Grouping of Table 1 labels by environment, in the paper's column order.
+TABLE1_GROUPS: dict[str, list[str]] = {
+    "qudit": ["U", "U0", "U1", "U01", "CX0", "CX1", "SWAP_in"],
+    "qubit_only": ["CX2", "CZ2", "CSdg2", "SWAP2", "iToffoli3"],
+    "mixed_radix": ["CX0q", "CX1q", "CXq0", "CXq1", "CZq0", "CZq1", "SWAPq0", "SWAPq1", "ENC"],
+    "full_ququart": ["CX00", "CX01", "CX10", "CX11", "CZ00", "CZ01", "CZ11", "SWAP00", "SWAP01", "SWAP11"],
+}
+
+
+def table1_durations() -> dict[str, float]:
+    """Return the Table 1 durations (ns) keyed by gate label."""
+    return dict(PAPER_TABLE1_DURATIONS_NS)
+
+
+def table2_durations() -> dict[str, float]:
+    """Return the Table 2 three-qubit gate durations (ns) keyed by label."""
+    return dict(PAPER_TABLE2_DURATIONS_NS)
+
+
+def calibrated_duration(label: str) -> float:
+    """Return the calibrated duration of any Table 1 / Table 2 label."""
+    if label in PAPER_TABLE1_DURATIONS_NS:
+        return PAPER_TABLE1_DURATIONS_NS[label]
+    if label in PAPER_TABLE2_DURATIONS_NS:
+        return PAPER_TABLE2_DURATIONS_NS[label]
+    raise KeyError(f"unknown gate label {label!r}")
+
+
+def logical_target_for_label(label: str) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Return (logical unitary, device dims) for a representative set of labels.
+
+    This supports the pulse-synthesis cross-check benchmark: the returned
+    unitary acts on the *logical* levels of the listed devices and can be
+    handed directly to a :class:`~repro.pulse.synthesis.PulseSynthesizer`
+    whose ``logical_levels`` match the device dimensions.
+
+    Only single-device and two-device labels that appear in Table 1 are
+    supported (three-qubit pulses are too expensive to re-synthesise in the
+    test suite).
+    """
+    single_qubit = {"U": ("X", (2,))}
+    if label in single_qubit:
+        name, dims = single_qubit[label]
+        return gate_unitary(name), dims
+    if label in {"U0", "U1", "U01"}:
+        base = gate_unitary("H")
+        if label == "U0":
+            matrix = np.kron(base, np.eye(2))
+        elif label == "U1":
+            matrix = np.kron(np.eye(2), base)
+        else:
+            matrix = np.kron(base, base)
+        return matrix, (4,)
+    if label in {"CX0", "CX1", "SWAP_in"}:
+        if label == "SWAP_in":
+            return gate_unitary("SWAP"), (4,)
+        cx = gate_unitary("CX")
+        if label == "CX0":
+            # Control = encoded qubit 1 (slot 1), target = encoded qubit 0.
+            matrix = embed_qubit_unitary(cx, [(0, 1), (0, 0)], (4,))
+        else:
+            matrix = embed_qubit_unitary(cx, [(0, 0), (0, 1)], (4,))
+        return matrix, (4,)
+    if label in {"CX2", "CZ2", "SWAP2", "CSdg2"}:
+        name = {"CX2": "CX", "CZ2": "CZ", "SWAP2": "SWAP", "CSdg2": "CSDG"}[label]
+        return gate_unitary(name), (2, 2)
+    if label in {"CX0q", "CX1q", "CXq0", "CXq1", "CZq0", "CZq1", "SWAPq0", "SWAPq1", "ENC"}:
+        dims = (4, 2)
+        if label == "ENC":
+            return embed_qubit_unitary(gate_unitary("SWAP"), [(0, 0), (1, 0)], dims), dims
+        name = label[:-2] if label.endswith(("q0", "q1")) else label.rstrip("q")
+        slot = int(label[-1]) if label[-1] in "01" else int(label[2])
+        base = {"CX": "CX", "CZ": "CZ", "SW": "SWAP"}[label[:2]]
+        if label.startswith(("CXq", "CZq", "SWAPq")):
+            # Bare qubit is the control (or the gate is symmetric).
+            operands = [(1, 0), (0, slot)]
+        else:
+            operands = [(0, slot), (1, 0)]
+        return embed_qubit_unitary(gate_unitary(base), operands, dims), dims
+    raise KeyError(f"no synthesis target defined for label {label!r}")

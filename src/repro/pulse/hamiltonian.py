@@ -1,0 +1,182 @@
+"""Coupled-transmon Hamiltonian (Eq. (2) of the paper).
+
+The model consists of up to three weakly coupled anharmonic oscillators
+
+    ``H(t) = sum_k [w_k a_k^dag a_k + (xi_k / 2) a_k^dag a_k^dag a_k a_k]
+           + sum_{k<l} J_kl (a_k^dag a_l + a_l^dag a_k)
+           + sum_k f_k(t) (a_k + a_k^dag)``
+
+with the paper's parameters: ``w/2pi = 4.914, 5.114, 5.214 GHz``,
+``xi/2pi = -330 MHz`` for every transmon, nearest-neighbour couplings
+``J/2pi = 3.8 MHz`` and drive amplitudes limited to ``f_max = 45 MHz``.
+
+For tractable optimisation we work in the frame rotating at the first
+transmon's frequency: the fast ``~5 GHz`` carrier is removed and the drift
+keeps the detunings, anharmonicities and exchange couplings.  Time is
+measured in nanoseconds and energies in angular frequency (rad/ns), so a
+frequency of ``f`` GHz enters as ``2 pi f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["TransmonSystem", "PAPER_FREQUENCIES_GHZ", "PAPER_ANHARMONICITY_GHZ", "PAPER_COUPLING_GHZ", "PAPER_MAX_DRIVE_GHZ"]
+
+#: |0>-|1> transition frequencies of the three transmons (GHz).
+PAPER_FREQUENCIES_GHZ: tuple[float, ...] = (4.914, 5.114, 5.214)
+#: Common anharmonicity (GHz).
+PAPER_ANHARMONICITY_GHZ: float = -0.330
+#: Nearest-neighbour exchange coupling (GHz).
+PAPER_COUPLING_GHZ: float = 0.0038
+#: Maximum drive amplitude (GHz).
+PAPER_MAX_DRIVE_GHZ: float = 0.045
+
+_TWO_PI = 2.0 * np.pi
+
+
+def _destroy(dim: int) -> np.ndarray:
+    """Return the truncated annihilation operator of dimension ``dim``."""
+    mat = np.zeros((dim, dim), dtype=np.complex128)
+    for n in range(1, dim):
+        mat[n - 1, n] = np.sqrt(n)
+    return mat
+
+
+@dataclass
+class TransmonSystem:
+    """A chain of weakly coupled anharmonic transmons.
+
+    Parameters
+    ----------
+    num_transmons:
+        1, 2 or 3 devices.
+    levels_per_transmon:
+        Number of simulated levels per transmon, *including* guard levels.
+    logical_levels:
+        Number of levels forming the logical (computational) subspace of
+        each transmon (2 for a qubit, 4 for a ququart).  Must not exceed
+        ``levels_per_transmon``.
+    frequencies_ghz, anharmonicity_ghz, coupling_ghz, max_drive_ghz:
+        Hardware parameters; defaults follow the paper.
+    """
+
+    num_transmons: int = 1
+    levels_per_transmon: int = 4
+    logical_levels: int = 2
+    frequencies_ghz: Sequence[float] = PAPER_FREQUENCIES_GHZ
+    anharmonicity_ghz: float = PAPER_ANHARMONICITY_GHZ
+    coupling_ghz: float = PAPER_COUPLING_GHZ
+    max_drive_ghz: float = PAPER_MAX_DRIVE_GHZ
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_transmons <= 3:
+            raise ValueError("the model supports 1 to 3 transmons")
+        if self.levels_per_transmon < 2:
+            raise ValueError("each transmon needs at least two levels")
+        if not 2 <= self.logical_levels <= self.levels_per_transmon:
+            raise ValueError("logical_levels must be between 2 and levels_per_transmon")
+        if len(self.frequencies_ghz) < self.num_transmons:
+            raise ValueError("not enough transmon frequencies provided")
+
+    # -- dimensions ---------------------------------------------------------------
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Simulated dimension of each transmon (including guard levels)."""
+        return (self.levels_per_transmon,) * self.num_transmons
+
+    @property
+    def hilbert_dimension(self) -> int:
+        return self.levels_per_transmon**self.num_transmons
+
+    @property
+    def logical_dimension(self) -> int:
+        """Dimension of the logical subspace the target unitary acts on."""
+        return self.logical_levels**self.num_transmons
+
+    @property
+    def max_drive_rad_per_ns(self) -> float:
+        """Drive amplitude bound in angular-frequency units."""
+        return _TWO_PI * self.max_drive_ghz
+
+    # -- operators -------------------------------------------------------------------
+    def _embed(self, operator: np.ndarray, transmon: int) -> np.ndarray:
+        """Embed a single-transmon operator into the full Hilbert space."""
+        result = np.array([[1.0]], dtype=np.complex128)
+        for index in range(self.num_transmons):
+            factor = operator if index == transmon else np.eye(self.levels_per_transmon)
+            result = np.kron(result, factor)
+        return result
+
+    def lowering_operator(self, transmon: int) -> np.ndarray:
+        """Return ``a_k`` embedded in the full space."""
+        return self._embed(_destroy(self.levels_per_transmon), transmon)
+
+    def number_operator(self, transmon: int) -> np.ndarray:
+        """Return ``a_k^dag a_k`` embedded in the full space."""
+        a = self.lowering_operator(transmon)
+        return a.conj().T @ a
+
+    def drift_hamiltonian(self) -> np.ndarray:
+        """Return the static Hamiltonian in the rotating frame (rad/ns)."""
+        dim = self.hilbert_dimension
+        drift = np.zeros((dim, dim), dtype=np.complex128)
+        reference = self.frequencies_ghz[0]
+        for k in range(self.num_transmons):
+            a = self.lowering_operator(k)
+            number = a.conj().T @ a
+            detuning = _TWO_PI * (self.frequencies_ghz[k] - reference)
+            anharmonicity = _TWO_PI * self.anharmonicity_ghz
+            drift += detuning * number
+            drift += 0.5 * anharmonicity * (a.conj().T @ a.conj().T @ a @ a)
+        coupling = _TWO_PI * self.coupling_ghz
+        for k in range(self.num_transmons - 1):
+            a_k = self.lowering_operator(k)
+            a_l = self.lowering_operator(k + 1)
+            drift += coupling * (a_k.conj().T @ a_l + a_l.conj().T @ a_k)
+        return drift
+
+    def control_operators(self) -> list[np.ndarray]:
+        """Return the drive operators, two quadratures per transmon.
+
+        In the rotating frame the lab-frame drive ``f_k(t)(a_k + a_k^dag)``
+        splits into in-phase ``(a_k + a_k^dag)`` and quadrature
+        ``i(a_k - a_k^dag)`` components, each with its own envelope.
+        """
+        controls: list[np.ndarray] = []
+        for k in range(self.num_transmons):
+            a = self.lowering_operator(k)
+            controls.append(a + a.conj().T)
+            controls.append(1j * (a - a.conj().T))
+        return controls
+
+    # -- logical subspace ------------------------------------------------------------------
+    def logical_projector(self) -> np.ndarray:
+        """Return the isometry from the logical subspace into the full space.
+
+        Columns are the full-space basis vectors whose per-transmon levels
+        are all below ``logical_levels``; guard levels are excluded.
+        """
+        columns = []
+        for index in range(self.hilbert_dimension):
+            levels = self._index_to_levels(index)
+            if all(level < self.logical_levels for level in levels):
+                column = np.zeros(self.hilbert_dimension, dtype=np.complex128)
+                column[index] = 1.0
+                columns.append(column)
+        return np.column_stack(columns)
+
+    def guard_projector(self) -> np.ndarray:
+        """Return the projector onto the guard (non-logical) subspace."""
+        iso = self.logical_projector()
+        return np.eye(self.hilbert_dimension) - iso @ iso.conj().T
+
+    def _index_to_levels(self, index: int) -> tuple[int, ...]:
+        levels = []
+        for _ in range(self.num_transmons):
+            levels.append(index % self.levels_per_transmon)
+            index //= self.levels_per_transmon
+        return tuple(reversed(levels))

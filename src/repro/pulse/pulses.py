@@ -1,0 +1,110 @@
+"""Piecewise-constant control pulses.
+
+Juqbox parameterises controls with B-splines and carrier waves; for the
+rotating-frame model used here a piecewise-constant envelope per control
+channel is the standard (GRAPE) parameterisation and is sufficient to reach
+the paper's fidelity targets on the small systems we synthesise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PiecewiseConstantPulse"]
+
+
+@dataclass
+class PiecewiseConstantPulse:
+    """A set of piecewise-constant control envelopes.
+
+    Attributes
+    ----------
+    amplitudes:
+        Array of shape ``(num_controls, num_segments)`` in rad/ns.
+    duration_ns:
+        Total pulse duration; every segment has length
+        ``duration_ns / num_segments``.
+    max_amplitude:
+        Amplitude bound (rad/ns); used for clipping and validation.
+    """
+
+    amplitudes: np.ndarray
+    duration_ns: float
+    max_amplitude: float | None = None
+
+    def __post_init__(self) -> None:
+        self.amplitudes = np.atleast_2d(np.asarray(self.amplitudes, dtype=float))
+        if self.duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        if self.max_amplitude is not None and self.max_amplitude <= 0:
+            raise ValueError("max_amplitude must be positive")
+
+    @property
+    def num_controls(self) -> int:
+        return self.amplitudes.shape[0]
+
+    @property
+    def num_segments(self) -> int:
+        return self.amplitudes.shape[1]
+
+    @property
+    def segment_duration_ns(self) -> float:
+        return self.duration_ns / self.num_segments
+
+    def clipped(self) -> "PiecewiseConstantPulse":
+        """Return a copy with amplitudes clipped to the bound."""
+        if self.max_amplitude is None:
+            return PiecewiseConstantPulse(self.amplitudes.copy(), self.duration_ns, None)
+        return PiecewiseConstantPulse(
+            np.clip(self.amplitudes, -self.max_amplitude, self.max_amplitude),
+            self.duration_ns,
+            self.max_amplitude,
+        )
+
+    def exceeds_bound(self) -> bool:
+        """Return True if any amplitude exceeds the configured bound."""
+        if self.max_amplitude is None:
+            return False
+        return bool(np.any(np.abs(self.amplitudes) > self.max_amplitude + 1e-12))
+
+    def sample(self, times_ns: np.ndarray) -> np.ndarray:
+        """Sample every control channel at the given times.
+
+        Times at or beyond the pulse end return the last segment's value.
+        """
+        times_ns = np.asarray(times_ns, dtype=float)
+        segments = np.minimum(
+            (times_ns / self.segment_duration_ns).astype(int), self.num_segments - 1
+        )
+        segments = np.maximum(segments, 0)
+        return self.amplitudes[:, segments]
+
+    def energy(self) -> float:
+        """Return the integrated squared amplitude (a pulse-power proxy)."""
+        return float(np.sum(self.amplitudes**2) * self.segment_duration_ns)
+
+    @classmethod
+    def zeros(
+        cls, num_controls: int, num_segments: int, duration_ns: float, max_amplitude: float | None = None
+    ) -> "PiecewiseConstantPulse":
+        """Return an all-zero pulse of the given shape."""
+        return cls(np.zeros((num_controls, num_segments)), duration_ns, max_amplitude)
+
+    @classmethod
+    def random(
+        cls,
+        num_controls: int,
+        num_segments: int,
+        duration_ns: float,
+        max_amplitude: float,
+        scale: float = 0.2,
+        rng: np.random.Generator | int | None = None,
+    ) -> "PiecewiseConstantPulse":
+        """Return a random initial pulse, a fraction ``scale`` of the bound."""
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        amplitudes = generator.uniform(
+            -scale * max_amplitude, scale * max_amplitude, size=(num_controls, num_segments)
+        )
+        return cls(amplitudes, duration_ns, max_amplitude)

@@ -1,0 +1,69 @@
+"""Qudit math substrate.
+
+This subpackage provides the low-level linear-algebra building blocks used by
+the rest of the library:
+
+* :mod:`repro.qudit.states` — mixed-radix statevector manipulation,
+* :mod:`repro.qudit.operators` — generalized Pauli operators and Kraus maps,
+* :mod:`repro.qudit.unitaries` — qubit gates embedded on ququart devices
+  (the gate set of Section 3.2 of the paper),
+* :mod:`repro.qudit.random` — Haar-random states and unitaries.
+
+Everything here operates on plain :class:`numpy.ndarray` objects; the only
+structure carried around is a tuple of per-device dimensions (``dims``), e.g.
+``(4, 2)`` for a ququart next to a bare qubit.
+"""
+
+from repro.qudit.states import (
+    MixedRadixState,
+    apply_unitary,
+    basis_state,
+    fidelity,
+    index_to_levels,
+    levels_to_index,
+    state_dimension,
+)
+from repro.qudit.operators import (
+    amplitude_damping_kraus,
+    generalized_pauli_basis,
+    generalized_x,
+    generalized_z,
+    qudit_identity,
+)
+from repro.qudit.unitaries import (
+    QUBIT_ENCODING,
+    decode_ququart_state,
+    embed_qubit_unitary,
+    encode_qubit_pair,
+    encoding_permutation,
+    qubit_slots,
+)
+from repro.qudit.random import (
+    haar_random_state,
+    haar_random_unitary,
+    random_product_state,
+)
+
+__all__ = [
+    "MixedRadixState",
+    "QUBIT_ENCODING",
+    "amplitude_damping_kraus",
+    "apply_unitary",
+    "basis_state",
+    "decode_ququart_state",
+    "embed_qubit_unitary",
+    "encode_qubit_pair",
+    "encoding_permutation",
+    "fidelity",
+    "generalized_pauli_basis",
+    "generalized_x",
+    "generalized_z",
+    "haar_random_state",
+    "haar_random_unitary",
+    "index_to_levels",
+    "levels_to_index",
+    "qubit_slots",
+    "qudit_identity",
+    "random_product_state",
+    "state_dimension",
+]

@@ -1,0 +1,142 @@
+"""Generalized qudit operators.
+
+Implements the operator families used by the noise model of Section 6.5 of
+the paper:
+
+* the generalized "bit-flip" ``X_{+1 mod d}`` and "phase-flip"
+  ``Z_d = diag(1, w, w^2, ...)`` operators whose products form a basis of all
+  ``d x d`` Pauli matrices,
+* the qudit amplitude-damping Kraus operators
+  ``K_0 = diag(1, sqrt(1-l_1), ...)``, ``K_m = sqrt(l_m) |0><m|`` with
+  per-level decay ``l_m = 1 - exp(-m dt / T1)``.
+
+These operators act on a *single* device; multi-device error channels are
+assembled by the noise model as tensor products.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "amplitude_damping_kraus",
+    "generalized_pauli_basis",
+    "generalized_x",
+    "generalized_z",
+    "qudit_identity",
+    "matrix_unit",
+]
+
+
+def qudit_identity(dim: int) -> np.ndarray:
+    """Return the ``dim x dim`` identity operator."""
+    if dim < 1:
+        raise ValueError("dimension must be positive")
+    return np.eye(dim, dtype=np.complex128)
+
+
+def matrix_unit(i: int, j: int, dim: int) -> np.ndarray:
+    """Return ``e_{i,j}``: zeros except a 1 in row ``i``, column ``j``."""
+    if not (0 <= i < dim and 0 <= j < dim):
+        raise ValueError(f"indices ({i}, {j}) out of range for dimension {dim}")
+    mat = np.zeros((dim, dim), dtype=np.complex128)
+    mat[i, j] = 1.0
+    return mat
+
+
+def generalized_x(dim: int, shift: int = 1) -> np.ndarray:
+    """Return the cyclic shift operator ``X_{+shift mod dim}``.
+
+    ``X |k> = |k + shift mod dim>``.  For ``dim=2, shift=1`` this is the
+    ordinary Pauli-X.
+    """
+    if dim < 2:
+        raise ValueError("dimension must be at least 2")
+    shift %= dim
+    mat = np.zeros((dim, dim), dtype=np.complex128)
+    for k in range(dim):
+        mat[(k + shift) % dim, k] = 1.0
+    return mat
+
+
+def generalized_z(dim: int, power: int = 1) -> np.ndarray:
+    """Return the clock operator ``Z_d^power = diag(1, w^p, w^{2p}, ...)``.
+
+    ``w = exp(2 pi i / dim)`` is the primitive ``dim``-th root of unity.  For
+    ``dim=2, power=1`` this is the ordinary Pauli-Z.
+    """
+    if dim < 2:
+        raise ValueError("dimension must be at least 2")
+    omega = np.exp(2j * np.pi / dim)
+    return np.diag(omega ** (power * np.arange(dim))).astype(np.complex128)
+
+
+def generalized_pauli_basis(dim: int, include_identity: bool = False) -> list[np.ndarray]:
+    """Return the Weyl–Heisenberg basis ``{X^a Z^b}`` for one qudit.
+
+    The returned list enumerates ``X^a Z^b`` for ``a, b`` in ``0..dim-1``.
+    When ``include_identity`` is False the ``a = b = 0`` element (the
+    identity) is omitted, leaving the ``dim^2 - 1`` non-trivial error
+    operators used by the symmetric depolarizing channel.
+    """
+    basis: list[np.ndarray] = []
+    for a in range(dim):
+        x_part = generalized_x(dim, a) if a else qudit_identity(dim)
+        for b in range(dim):
+            if a == 0 and b == 0 and not include_identity:
+                continue
+            z_part = generalized_z(dim, b) if b else qudit_identity(dim)
+            basis.append(x_part @ z_part)
+    return basis
+
+
+def amplitude_damping_kraus(
+    dim: int, decay_probabilities: Sequence[float]
+) -> list[np.ndarray]:
+    """Return the qudit amplitude-damping Kraus operators.
+
+    Parameters
+    ----------
+    dim:
+        Device dimension ``d``.
+    decay_probabilities:
+        ``(l_1, ..., l_{d-1})`` — the probability that level ``m`` has
+        decayed to the ground state over the considered time interval.  The
+        paper uses ``l_m = 1 - exp(-m * dt / T1)``.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``[K_0, K_1, ..., K_{d-1}]`` satisfying
+        ``sum_m K_m^dagger K_m = 1``.
+    """
+    lambdas = list(decay_probabilities)
+    if len(lambdas) != dim - 1:
+        raise ValueError(
+            f"expected {dim - 1} decay probabilities for dimension {dim}, "
+            f"got {len(lambdas)}"
+        )
+    for m, lam in enumerate(lambdas, start=1):
+        if not 0.0 <= lam <= 1.0:
+            raise ValueError(f"decay probability for level {m} not in [0, 1]: {lam}")
+
+    diag = [1.0] + [np.sqrt(1.0 - lam) for lam in lambdas]
+    kraus = [np.diag(diag).astype(np.complex128)]
+    for m, lam in enumerate(lambdas, start=1):
+        kraus.append(np.sqrt(lam) * matrix_unit(0, m, dim))
+    return kraus
+
+
+def idle_decay_probabilities(dim: int, duration: float, t1: float) -> list[float]:
+    """Return per-level decay probabilities for idling ``duration`` on a qudit.
+
+    Uses the paper's model ``l_m = 1 - exp(-m * duration / T1)``: level ``m``
+    decays ``m`` times faster than level ``1``.
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    if t1 <= 0:
+        raise ValueError("T1 must be positive")
+    return [1.0 - float(np.exp(-m * duration / t1)) for m in range(1, dim)]

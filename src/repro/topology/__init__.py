@@ -1,0 +1,18 @@
+"""Hardware topology and device models."""
+
+from repro.topology.mesh import (
+    grid_dimensions,
+    heavy_hex_topology,
+    linear_topology,
+    mesh_topology,
+)
+from repro.topology.device import Device, CoherenceModel
+
+__all__ = [
+    "CoherenceModel",
+    "Device",
+    "grid_dimensions",
+    "heavy_hex_topology",
+    "linear_topology",
+    "mesh_topology",
+]

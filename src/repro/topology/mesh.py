@@ -1,0 +1,98 @@
+"""Coupling-graph constructors.
+
+The paper evaluates on a 2D mesh (nearest-neighbour grid) whose dimensions
+are ``ceil(sqrt(n)) x ceil(n / ceil(sqrt(n)))`` for ``n`` physical devices
+(Section 6.2), reflective of Google's Sycamore-style density.  A linear chain
+and an IBM-style heavy-hex sketch are provided for comparison experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+__all__ = [
+    "grid_dimensions",
+    "heavy_hex_topology",
+    "linear_topology",
+    "mesh_topology",
+]
+
+
+def grid_dimensions(num_devices: int) -> tuple[int, int]:
+    """Return the (rows, columns) used by the paper's mesh for ``num_devices``.
+
+    ``rows = ceil(sqrt(n))`` and ``columns = ceil(n / rows)`` so that
+    ``rows * columns >= n`` with the most square shape possible.
+    """
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    rows = math.ceil(math.sqrt(num_devices))
+    cols = math.ceil(num_devices / rows)
+    return rows, cols
+
+
+def mesh_topology(num_devices: int) -> nx.Graph:
+    """Return a nearest-neighbour 2D mesh with exactly ``num_devices`` nodes.
+
+    Devices are numbered row-major; positions are stored as the ``pos`` node
+    attribute for plotting and for distance heuristics.
+    """
+    rows, cols = grid_dimensions(num_devices)
+    graph = nx.Graph()
+    for index in range(num_devices):
+        row, col = divmod(index, cols)
+        graph.add_node(index, pos=(row, col))
+    for index in range(num_devices):
+        row, col = divmod(index, cols)
+        right = index + 1
+        below = index + cols
+        if col + 1 < cols and right < num_devices:
+            graph.add_edge(index, right)
+        if below < num_devices:
+            graph.add_edge(index, below)
+    return graph
+
+
+def linear_topology(num_devices: int) -> nx.Graph:
+    """Return a line of ``num_devices`` devices with nearest-neighbour edges."""
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_devices))
+    graph.add_edges_from((i, i + 1) for i in range(num_devices - 1))
+    for i in range(num_devices):
+        graph.nodes[i]["pos"] = (0, i)
+    return graph
+
+
+def heavy_hex_topology(distance: int = 3) -> nx.Graph:
+    """Return a small IBM-style heavy-hex lattice.
+
+    This is a simplified generator sufficient for connectivity-density
+    comparisons: qubits sit on the edges and vertices of a hexagonal tiling,
+    giving average degree well below the 2D mesh.  ``distance`` controls the
+    number of hexagon rows/columns.
+    """
+    if distance < 1:
+        raise ValueError("distance must be positive")
+    # Build from a grid and delete edges to reach degree <= 3 in the interior,
+    # mimicking the heavy-hex pattern of alternating connected columns.
+    rows = 2 * distance + 1
+    cols = 2 * distance + 1
+    grid = nx.grid_2d_graph(rows, cols)
+    removed = []
+    for (r, c), (r2, c2) in list(grid.edges):
+        vertical = c == c2
+        if vertical and (c % 2 == 1) and (min(r, r2) % 2 == 0):
+            removed.append(((r, c), (r2, c2)))
+    grid.remove_edges_from(removed)
+    # Keep the largest connected component and relabel to integers.
+    component = max(nx.connected_components(grid), key=len)
+    graph = grid.subgraph(component).copy()
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes))}
+    graph = nx.relabel_nodes(graph, mapping)
+    for node, original in zip(sorted(mapping.values()), sorted(mapping.keys())):
+        graph.nodes[node]["pos"] = original
+    return graph

@@ -1,0 +1,36 @@
+"""The five parameterised benchmark circuits of Section 6.1."""
+
+from repro.workloads.cnu import generalized_toffoli
+from repro.workloads.cuccaro import cuccaro_adder
+from repro.workloads.qram import qram_circuit
+from repro.workloads.select import select_circuit
+from repro.workloads.synthetic import synthetic_cx_ccx_circuit
+
+__all__ = [
+    "cuccaro_adder",
+    "generalized_toffoli",
+    "qram_circuit",
+    "select_circuit",
+    "synthetic_cx_ccx_circuit",
+    "workload_by_name",
+]
+
+
+def workload_by_name(name: str, num_qubits: int, **kwargs):
+    """Build a benchmark circuit by its short name.
+
+    Supported names: ``cnu`` (generalized Toffoli), ``cuccaro``, ``qram``,
+    ``select`` and ``synthetic``.
+    """
+    builders = {
+        "cnu": generalized_toffoli,
+        "toffoli": generalized_toffoli,
+        "cuccaro": cuccaro_adder,
+        "qram": qram_circuit,
+        "select": select_circuit,
+        "synthetic": synthetic_cx_ccx_circuit,
+    }
+    key = name.lower()
+    if key not in builders:
+        raise ValueError(f"unknown workload {name!r}; choose from {sorted(builders)}")
+    return builders[key](num_qubits, **kwargs)

@@ -1,0 +1,60 @@
+"""Generalized Toffoli (CN-U / CNX) circuit [Baker et al. 2019].
+
+Flips a target qubit when every control is |1>.  The decomposition is the
+ancilla-assisted AND tree: pairs of controls are combined into ancilla qubits
+with Toffoli gates, the tree is reduced until two wires remain, a final
+Toffoli hits the target, and the tree is uncomputed.  The circuit is highly
+parallel and consists exclusively of Toffoli gates, which is why the paper
+uses it as the headline three-qubit-gate benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["generalized_toffoli"]
+
+
+def generalized_toffoli(num_qubits: int) -> QuantumCircuit:
+    """Return the generalized-Toffoli circuit on ``num_qubits`` qubits.
+
+    The register is split into ``k = (n + 1) // 2`` controls, ``k - 2``
+    ancillas (more are left idle when the arithmetic allows) and one target
+    (the last qubit).
+    """
+    if num_qubits < 3:
+        raise ValueError("the generalized Toffoli needs at least 3 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"cnu-{num_qubits}")
+    if num_qubits == 3:
+        return circuit.ccx(0, 1, 2)
+
+    num_controls = (num_qubits + 1) // 2
+    controls = list(range(num_controls))
+    ancillas = list(range(num_controls, num_qubits - 1))
+    target = num_qubits - 1
+
+    compute: list[tuple[int, int, int]] = []
+    layer = list(controls)
+    ancilla_iter = iter(ancillas)
+    while len(layer) > 2:
+        next_layer: list[int] = []
+        for index in range(0, len(layer) - 1, 2):
+            try:
+                ancilla = next(ancilla_iter)
+            except StopIteration as exc:  # pragma: no cover - sizing guarantees enough
+                raise ValueError("not enough ancilla qubits for the AND tree") from exc
+            compute.append((layer[index], layer[index + 1], ancilla))
+            next_layer.append(ancilla)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+
+    for a, b, anc in compute:
+        circuit.ccx(a, b, anc)
+    if len(layer) == 2:
+        circuit.ccx(layer[0], layer[1], target)
+    else:
+        circuit.cx(layer[0], target)
+    for a, b, anc in reversed(compute):
+        circuit.ccx(a, b, anc)
+    return circuit

@@ -1,0 +1,58 @@
+"""Cuccaro ripple-carry adder [Cuccaro et al. 2004].
+
+Adds two ``n``-bit registers in place using ``2n + 2`` qubits (carry-in,
+interleaved ``b``/``a`` registers and a carry-out).  The circuit is almost
+entirely serial and mixes Toffoli, CX and (here implicitly) no single-qubit
+gates, making it the paper's depth-dominated benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["cuccaro_adder"]
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """Majority block: (c, b, a) -> (c^a, b^a, MAJ)."""
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """UnMajority-and-Add block, the inverse of MAJ plus the sum write-back."""
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def cuccaro_adder(num_qubits: int) -> QuantumCircuit:
+    """Return a Cuccaro adder using at most ``num_qubits`` qubits.
+
+    The largest ``n`` with ``2n + 2 <= num_qubits`` is used; any remaining
+    qubits are left idle.  Qubit layout: carry-in ``0``, then alternating
+    ``b_i`` (odd indices) and ``a_i`` (even indices), carry-out ``2n + 1``.
+    """
+    if num_qubits < 4:
+        raise ValueError("the Cuccaro adder needs at least 4 qubits")
+    bits = (num_qubits - 2) // 2
+    circuit = QuantumCircuit(num_qubits, name=f"cuccaro-{num_qubits}")
+
+    def b_index(i: int) -> int:
+        return 1 + 2 * i
+
+    def a_index(i: int) -> int:
+        return 2 + 2 * i
+
+    carry_in = 0
+    carry_out = 2 * bits + 1
+
+    _maj(circuit, carry_in, b_index(0), a_index(0))
+    for i in range(1, bits):
+        _maj(circuit, a_index(i - 1), b_index(i), a_index(i))
+    circuit.cx(a_index(bits - 1), carry_out)
+    for i in reversed(range(1, bits)):
+        _uma(circuit, a_index(i - 1), b_index(i), a_index(i))
+    _uma(circuit, carry_in, b_index(0), a_index(0))
+    return circuit

@@ -1,0 +1,45 @@
+"""QRAM routing kernel [Gokhale et al. 2020].
+
+Moves data between a bus qubit and a register of memory cells under the
+control of address qubits.  The circuit is dominated by controlled-SWAP
+gates — the reason the paper uses it for the CSWAP case study (Figure 9a) —
+with a handful of single-qubit gates preparing the address superposition.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["qram_circuit"]
+
+
+def qram_circuit(num_qubits: int, rounds: int = 1) -> QuantumCircuit:
+    """Return a QRAM read/write kernel on ``num_qubits`` qubits.
+
+    Layout: the first ``k`` qubits are address bits
+    (``k = max(1, (num_qubits - 1) // 3)``), the next qubit is the bus, and
+    the remaining qubits are memory cells.  Each round routes the bus value
+    into the cells (one CSWAP per cell, controlled by the address bits in
+    round-robin order) and back, modelling a fetch followed by a restore.
+    """
+    if num_qubits < 3:
+        raise ValueError("a QRAM kernel needs at least 3 qubits")
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    num_address = max(1, (num_qubits - 1) // 3)
+    bus = num_address
+    cells = list(range(num_address + 1, num_qubits))
+    if not cells:
+        raise ValueError("not enough qubits for any memory cell")
+
+    circuit = QuantumCircuit(num_qubits, name=f"qram-{num_qubits}")
+    for address in range(num_address):
+        circuit.h(address)
+    circuit.x(bus)
+
+    for _ in range(rounds):
+        for index, cell in enumerate(cells):
+            circuit.cswap(index % num_address, bus, cell)
+        for index, cell in reversed(list(enumerate(cells))):
+            circuit.cswap(index % num_address, bus, cell)
+    return circuit

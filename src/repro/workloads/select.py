@@ -1,0 +1,78 @@
+"""SELECT state-preparation kernel [Babbush et al. 2018 / Low & Chuang 2019].
+
+Applies one of several Pauli strings to a data register depending on the
+state of an index register.  Following the paper's evaluation set-up, only
+two (randomly chosen) index values are selected, each implemented as a
+multi-controlled Pauli string: the index bits are combined with an
+ancilla-assisted Toffoli chain, the resulting flag conditions CX/CZ gates
+onto the data qubits, and the chain is uncomputed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["select_circuit"]
+
+
+def _controlled_pauli(circuit: QuantumCircuit, control: int, pauli: str, target: int) -> None:
+    if pauli == "X":
+        circuit.cx(control, target)
+    elif pauli == "Z":
+        circuit.cz(control, target)
+    elif pauli == "Y":
+        circuit.sdg(target)
+        circuit.cx(control, target)
+        circuit.s(target)
+    else:
+        raise ValueError(f"unsupported Pauli {pauli!r}")
+
+
+def select_circuit(num_qubits: int, num_select: int = 2, seed: int = 2023) -> QuantumCircuit:
+    """Return a SELECT kernel on ``num_qubits`` qubits.
+
+    Layout: ``m`` index qubits (``m = max(2, num_qubits // 4)``), ``m - 1``
+    ancillas for the control chain, and the rest as data qubits.  For each of
+    ``num_select`` randomly drawn index values a random Pauli string is
+    applied to the data register, controlled on the index register matching
+    that value.
+    """
+    if num_qubits < 5:
+        raise ValueError("the SELECT kernel needs at least 5 qubits")
+    num_index = max(2, num_qubits // 4)
+    num_ancilla = num_index - 1
+    data_start = num_index + num_ancilla
+    data = list(range(data_start, num_qubits))
+    if not data:
+        raise ValueError("not enough qubits for a data register")
+    rng = np.random.default_rng(seed)
+
+    circuit = QuantumCircuit(num_qubits, name=f"select-{num_qubits}")
+    for index_bit in range(num_index):
+        circuit.h(index_bit)
+
+    values = rng.choice(2**num_index, size=min(num_select, 2**num_index), replace=False)
+    for value in values:
+        pauli_string = rng.choice(["X", "Y", "Z"], size=len(data))
+        flips = [bit for bit in range(num_index) if not (int(value) >> bit) & 1]
+        for bit in flips:
+            circuit.x(bit)
+        # Combine the index bits into the last ancilla with a Toffoli chain.
+        chain: list[tuple[int, int, int]] = []
+        previous = 0
+        for position in range(1, num_index):
+            ancilla = num_index + position - 1
+            chain.append((previous, position, ancilla))
+            previous = ancilla
+        for a, b, anc in chain:
+            circuit.ccx(a, b, anc)
+        flag = previous
+        for pauli, target in zip(pauli_string, data):
+            _controlled_pauli(circuit, flag, str(pauli), target)
+        for a, b, anc in reversed(chain):
+            circuit.ccx(a, b, anc)
+        for bit in flips:
+            circuit.x(bit)
+    return circuit

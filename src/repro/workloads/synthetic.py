@@ -1,0 +1,55 @@
+"""Synthetic CX / CCX mix circuit (Section 6.1, Figure 9d).
+
+A purely synthetic workload used to study how the ratio of two-qubit to
+three-qubit gates changes the relative merit of mixed-radix versus
+full-ququart compilation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["synthetic_cx_ccx_circuit"]
+
+
+def synthetic_cx_ccx_circuit(
+    num_qubits: int,
+    num_gates: int = 40,
+    cx_fraction: float = 0.5,
+    seed: int = 7,
+) -> QuantumCircuit:
+    """Return a random circuit mixing CX and CCX gates.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size (at least 3).
+    num_gates:
+        Total number of multi-qubit gates.
+    cx_fraction:
+        Fraction of gates that are CX; the rest are CCX.  ``0.0`` gives a
+        pure three-qubit-gate circuit, ``1.0`` a pure two-qubit-gate one.
+    seed:
+        Seed for the operand / gate-type sampling (deterministic circuits
+        make the Figure 9d sweep reproducible).
+    """
+    if num_qubits < 3:
+        raise ValueError("need at least 3 qubits")
+    if not 0.0 <= cx_fraction <= 1.0:
+        raise ValueError("cx_fraction must be in [0, 1]")
+    if num_gates < 1:
+        raise ValueError("num_gates must be positive")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(
+        num_qubits, name=f"synthetic-{num_qubits}-cx{int(round(cx_fraction * 100))}"
+    )
+    for _ in range(num_gates):
+        if rng.random() < cx_fraction:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            a, b, c = rng.choice(num_qubits, size=3, replace=False)
+            circuit.ccx(int(a), int(b), int(c))
+    return circuit

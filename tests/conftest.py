@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_toffoli_circuit() -> QuantumCircuit:
+    """A 5-qubit circuit mixing 1q, 2q and 3q gates."""
+    circuit = QuantumCircuit(5, name="small-toffoli")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.ccx(0, 1, 2)
+    circuit.x(3)
+    circuit.ccx(2, 3, 4)
+    circuit.cswap(4, 0, 2)
+    circuit.ccz(1, 3, 4)
+    circuit.swap(0, 4)
+    return circuit
+
+
+@pytest.fixture
+def tiny_ccx_circuit() -> QuantumCircuit:
+    """A 3-qubit circuit containing a single Toffoli."""
+    return QuantumCircuit(3, name="tiny-ccx").h(0).h(1).ccx(0, 1, 2)

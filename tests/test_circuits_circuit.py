@@ -1,0 +1,109 @@
+"""Unit tests for the Gate record and QuantumCircuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.qudit.states import basis_state, fidelity
+
+
+class TestGate:
+    def test_gate_normalises_name(self):
+        gate = Gate("ccx", (0, 1, 2))
+        assert gate.name == "CCX"
+        assert gate.num_qubits == 3
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(ValueError):
+            Gate("CX", (0,))
+
+    def test_duplicate_operands(self):
+        with pytest.raises(ValueError):
+            Gate("CX", (1, 1))
+
+    def test_negative_operand(self):
+        with pytest.raises(ValueError):
+            Gate("X", (-1,))
+
+    def test_remapped(self):
+        gate = Gate("CCX", (0, 1, 2)).remapped({0: 5, 1: 3, 2: 7})
+        assert gate.qubits == (5, 3, 7)
+
+    def test_unitary_lookup(self):
+        assert np.allclose(Gate("X", (0,)).unitary(), [[0, 1], [1, 0]])
+
+
+class TestCircuitConstruction:
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        assert len(circuit) == 3
+        assert circuit.count_ops() == {"H": 1, "CX": 1, "CCX": 1}
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).ccx(0, 1, 2)
+
+    def test_depth(self):
+        circuit = QuantumCircuit(3).h(0).h(1).cx(0, 1).x(2)
+        assert circuit.depth() == 2
+
+    def test_three_qubit_gate_counts(self):
+        circuit = QuantumCircuit(4).ccx(0, 1, 2).cswap(1, 2, 3).cx(0, 1)
+        assert circuit.num_three_qubit_gates() == 2
+        assert circuit.num_multiqubit_gates() == 3
+
+    def test_extend_and_copy(self):
+        first = QuantumCircuit(2).h(0)
+        second = QuantumCircuit(2).cx(0, 1)
+        first.extend(second)
+        assert len(first) == 2
+        duplicate = first.copy()
+        duplicate.x(1)
+        assert len(first) == 2 and len(duplicate) == 3
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(5).cx(1, 3)
+        assert circuit.used_qubits() == {1, 3}
+
+    def test_equality(self):
+        assert QuantumCircuit(2).h(0) == QuantumCircuit(2).h(0)
+        assert QuantumCircuit(2).h(0) != QuantumCircuit(2).h(1)
+
+
+class TestCircuitSimulation:
+    def test_statevector_of_bell_pair(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        state = circuit.statevector()
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        assert fidelity(state, expected) == pytest.approx(1.0)
+
+    def test_ccx_truth_table(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        state = circuit.apply_to_state(basis_state((1, 1, 0), (2, 2, 2)))
+        assert fidelity(state, basis_state((1, 1, 1), (2, 2, 2))) == pytest.approx(1.0)
+
+    def test_unitary_matches_statevector(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).s(1)
+        unitary = circuit.unitary()
+        assert np.allclose(unitary[:, 0], circuit.statevector())
+
+    def test_unitary_guard_on_large_circuits(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(13).unitary()
+
+    def test_inverse_composes_to_identity(self):
+        circuit = QuantumCircuit(3).h(0).t(1).cx(0, 1).ccx(0, 1, 2).s(2).rz(0.3, 0)
+        combined = circuit.copy().extend(circuit.inverse())
+        assert np.allclose(combined.unitary(), np.eye(8), atol=1e-10)
+
+    def test_inverse_of_unsupported_gate(self):
+        circuit = QuantumCircuit(3).itoffoli(0, 1, 2)
+        with pytest.raises(ValueError):
+            circuit.inverse()
+
+    def test_remapped_circuit_equivalence(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 2)
+        remapped = circuit.remapped({0: 2, 1: 1, 2: 0})
+        assert remapped.gates[1].qubits == (2, 0)

@@ -1,0 +1,69 @@
+"""Unit tests for dependency analysis and ASAP scheduling."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag, schedule_asap, total_duration
+
+
+class TestScheduleAsap:
+    def test_serial_chain(self):
+        ops = [("a", (0,), 10.0), ("b", (0,), 5.0), ("c", (0,), 1.0)]
+        schedule = schedule_asap(ops, operands=lambda o: o[1], duration=lambda o: o[2])
+        assert [item.start for item in schedule] == [0.0, 10.0, 15.0]
+        assert total_duration(schedule) == pytest.approx(16.0)
+
+    def test_parallel_ops_overlap(self):
+        ops = [("a", (0,), 10.0), ("b", (1,), 4.0), ("c", (0, 1), 2.0)]
+        schedule = schedule_asap(ops, operands=lambda o: o[1], duration=lambda o: o[2])
+        # The two-qubit op must wait for the slower of its operands.
+        assert schedule[2].start == pytest.approx(10.0)
+        assert total_duration(schedule) == pytest.approx(12.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_asap([("a", (0,), -1.0)], operands=lambda o: o[1], duration=lambda o: o[2])
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_asap([("a", (), 1.0)], operands=lambda o: o[1], duration=lambda o: o[2])
+
+    def test_empty_schedule(self):
+        assert schedule_asap([], operands=lambda o: o, duration=lambda o: 0) == []
+
+
+class TestCircuitDag:
+    def test_depth_matches_circuit(self, small_toffoli_circuit):
+        dag = CircuitDag(small_toffoli_circuit)
+        assert dag.longest_path_length() == small_toffoli_circuit.depth()
+
+    def test_front_layer_has_no_dependencies(self):
+        circuit = QuantumCircuit(4).h(0).h(1).cx(0, 1).x(3)
+        dag = CircuitDag(circuit)
+        front = dag.front_layer()
+        assert set(front) == {0, 1, 3}
+
+    def test_layers_partition_all_gates(self, small_toffoli_circuit):
+        dag = CircuitDag(small_toffoli_circuit)
+        layers = dag.layers()
+        flattened = [node for layer in layers for node in layer]
+        assert sorted(flattened) == list(range(len(small_toffoli_circuit)))
+
+    def test_layers_respect_dependencies(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).x(1)
+        layers = CircuitDag(circuit).layers()
+        assert layers[0] == [0]
+        assert layers[1] == [1]
+        assert layers[2] == [2]
+
+    def test_topological_order_is_valid(self, small_toffoli_circuit):
+        dag = CircuitDag(small_toffoli_circuit)
+        order = dag.topological_order()
+        position = {node: index for index, node in enumerate(order)}
+        for u, v in dag.graph.edges:
+            assert position[u] < position[v]
+
+    def test_gate_accessor(self, tiny_ccx_circuit):
+        dag = CircuitDag(tiny_ccx_circuit)
+        assert dag.gate(2).name == "CCX"
+        assert dag.successors(0) == [2]

@@ -1,0 +1,99 @@
+"""Unit tests for the logical gate library."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    SUPPORTED_GATES,
+    controlled,
+    gate_num_qubits,
+    gate_unitary,
+    is_single_qubit_gate,
+    is_three_qubit_gate,
+    is_two_qubit_gate,
+)
+
+
+class TestMetadata:
+    def test_every_gate_has_a_unitary(self):
+        for name in SUPPORTED_GATES:
+            params = {"RX": (0.3,), "RY": (0.3,), "RZ": (0.3,), "U3": (0.1, 0.2, 0.3)}.get(name, ())
+            unitary = gate_unitary(name, params)
+            dim = 2 ** gate_num_qubits(name)
+            assert unitary.shape == (dim, dim)
+            assert np.allclose(unitary @ unitary.conj().T, np.eye(dim), atol=1e-10)
+
+    def test_gate_classification(self):
+        assert is_single_qubit_gate("H")
+        assert is_two_qubit_gate("CX")
+        assert is_three_qubit_gate("CCZ")
+        assert not is_three_qubit_gate("CX")
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            gate_num_qubits("FOO")
+        with pytest.raises(ValueError):
+            gate_unitary("FOO")
+
+    def test_case_insensitive(self):
+        assert gate_num_qubits("ccx") == 3
+        assert np.allclose(gate_unitary("h"), gate_unitary("H"))
+
+
+class TestUnitaries:
+    def test_ccx_action(self):
+        ccx = gate_unitary("CCX")
+        state = np.zeros(8)
+        state[0b110] = 1.0
+        assert np.argmax(np.abs(ccx @ state)) == 0b111
+
+    def test_ccz_is_diagonal_phase(self):
+        ccz = gate_unitary("CCZ")
+        assert np.allclose(ccz, np.diag(np.diagonal(ccz)))
+        assert np.diagonal(ccz)[7] == pytest.approx(-1.0)
+        assert np.allclose(np.abs(np.diagonal(ccz)), 1.0)
+
+    def test_cswap_action(self):
+        cswap = gate_unitary("CSWAP")
+        state = np.zeros(8)
+        state[0b110] = 1.0  # control=1, t0=1, t1=0
+        out = cswap @ state
+        assert np.argmax(np.abs(out)) == 0b101
+
+    def test_itoffoli_applies_i_phase(self):
+        itoffoli = gate_unitary("ITOFFOLI")
+        state = np.zeros(8, dtype=complex)
+        state[0b110] = 1.0
+        out = itoffoli @ state
+        assert out[0b111] == pytest.approx(1j)
+
+    def test_itoffoli_relation_to_ccx(self):
+        # CCX = iToffoli . CS†(controls), the identity behind Figure 6d.
+        itoffoli = gate_unitary("ITOFFOLI")
+        csdg = np.kron(gate_unitary("CSDG"), np.eye(2))
+        assert np.allclose(itoffoli @ csdg, gate_unitary("CCX"))
+
+    def test_rotation_gates(self):
+        assert np.allclose(gate_unitary("RX", (np.pi,)), -1j * gate_unitary("X"), atol=1e-10)
+        assert np.allclose(gate_unitary("RZ", (0.0,)), np.eye(2))
+
+    def test_u3_general_rotation(self):
+        u3 = gate_unitary("U3", (np.pi / 2, 0.0, np.pi))
+        assert np.allclose(u3, gate_unitary("H"), atol=1e-10)
+
+    def test_parametric_gate_arity_check(self):
+        with pytest.raises(ValueError):
+            gate_unitary("RX")
+        with pytest.raises(ValueError):
+            gate_unitary("H", (0.1,))
+
+    def test_controlled_builder(self):
+        assert np.allclose(controlled(gate_unitary("X")), gate_unitary("CX"))
+        assert np.allclose(controlled(gate_unitary("X"), 2), gate_unitary("CCX"))
+        with pytest.raises(ValueError):
+            controlled(gate_unitary("X"), 0)
+
+    def test_s_t_relations(self):
+        assert np.allclose(gate_unitary("T") @ gate_unitary("T"), gate_unitary("S"))
+        assert np.allclose(gate_unitary("S") @ gate_unitary("SDG"), np.eye(2))
+        assert np.allclose(gate_unitary("SX") @ gate_unitary("SX"), gate_unitary("X"))

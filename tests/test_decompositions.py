@@ -1,0 +1,98 @@
+"""Unit tests for the Toffoli / CCZ / CSWAP decompositions (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import gate_unitary
+from repro.core import decompositions
+
+
+def _unitary_of(gates, num_qubits=3):
+    return QuantumCircuit(num_qubits, gates).unitary()
+
+
+class TestCCZLine:
+    @pytest.mark.parametrize("middle", [0, 1, 2])
+    def test_matches_ccz_for_any_middle(self, middle):
+        operands = [q for q in (0, 1, 2)]
+        ends = [q for q in operands if q != middle]
+        gates = decompositions.ccz_phase_polynomial_line(ends[0], middle, ends[1])
+        assert np.allclose(_unitary_of(gates), gate_unitary("CCZ"), atol=1e-10)
+
+    def test_uses_exactly_eight_cx(self):
+        gates = decompositions.ccz_phase_polynomial_line(0, 1, 2)
+        names = [g.name for g in gates]
+        assert names.count("CX") == 8
+
+    def test_cx_gates_only_touch_the_middle(self):
+        gates = decompositions.ccz_phase_polynomial_line(0, 1, 2)
+        for gate in gates:
+            if gate.name == "CX":
+                assert 1 in gate.qubits
+
+    def test_distinct_operands_required(self):
+        with pytest.raises(ValueError):
+            decompositions.ccz_phase_polynomial_line(0, 0, 2)
+
+
+class TestCCXLine:
+    @pytest.mark.parametrize("middle", [0, 1, 2])
+    def test_matches_ccx(self, middle):
+        gates = decompositions.ccx_line_decomposition(0, 1, 2, middle=middle)
+        assert np.allclose(_unitary_of(gates), gate_unitary("CCX"), atol=1e-10)
+
+    def test_gate_budget_matches_paper(self):
+        # Eight two-qubit gates and a handful of single-qubit gates.
+        gates = decompositions.ccx_line_decomposition(0, 1, 2)
+        two_qubit = [g for g in gates if g.num_qubits == 2]
+        single_qubit = [g for g in gates if g.num_qubits == 1]
+        assert len(two_qubit) == 8
+        assert len(single_qubit) <= 14
+
+    def test_invalid_middle(self):
+        with pytest.raises(ValueError):
+            decompositions.ccx_line_decomposition(0, 1, 2, middle=5)
+
+
+class TestOtherDecompositions:
+    def test_ccz_to_ccx_form(self):
+        gates = decompositions.ccz_to_ccx_form(0, 1, 2)
+        assert np.allclose(_unitary_of(gates), gate_unitary("CCZ"), atol=1e-10)
+
+    def test_cswap_decomposition(self):
+        gates = decompositions.cswap_decomposition(0, 1, 2)
+        assert np.allclose(_unitary_of(gates), gate_unitary("CSWAP"), atol=1e-10)
+        assert sum(1 for g in gates if g.name == "CCX") == 1
+
+    def test_cswap_distinct_operands(self):
+        with pytest.raises(ValueError):
+            decompositions.cswap_decomposition(0, 1, 1)
+
+    def test_itoffoli_decomposition(self):
+        gates = decompositions.ccx_itoffoli_decomposition(0, 1, 2)
+        assert np.allclose(_unitary_of(gates), gate_unitary("CCX"), atol=1e-10)
+        assert [g.name for g in gates] == ["CSDG", "ITOFFOLI"]
+
+
+class TestRetargeting:
+    def test_retarget_to_second_control(self):
+        pre, gate, post = decompositions.retarget_ccx(0, 1, 2, new_target=1)
+        gates = pre + [gate] + post
+        assert np.allclose(_unitary_of(gates), gate_unitary("CCX"), atol=1e-10)
+        assert gate.qubits[2] == 1
+
+    def test_retarget_to_first_control(self):
+        pre, gate, post = decompositions.retarget_ccx(0, 1, 2, new_target=0)
+        gates = pre + [gate] + post
+        assert np.allclose(_unitary_of(gates), gate_unitary("CCX"), atol=1e-10)
+        assert gate.qubits[2] == 0
+
+    def test_retarget_to_original_target_is_noop(self):
+        pre, gate, post = decompositions.retarget_ccx(0, 1, 2, new_target=2)
+        assert pre == [] and post == []
+        assert gate.qubits == (0, 1, 2)
+
+    def test_retarget_requires_operand(self):
+        with pytest.raises(ValueError):
+            decompositions.retarget_ccx(0, 1, 2, new_target=7)

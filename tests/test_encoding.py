@@ -1,0 +1,105 @@
+"""Unit tests for placement tracking and logical-state packing."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import Placement, embed_logical_state, extract_logical_state
+from repro.core.physical import Slot
+from repro.qudit.random import haar_random_state
+from repro.qudit.states import basis_state, fidelity
+
+
+class TestPlacement:
+    def test_one_per_device(self):
+        placement = Placement.one_per_device(3)
+        assert placement.device_of(2) == 2
+        assert placement.slot_of(0) == Slot(0, 1)
+        assert placement.occupancy(0) == 1
+        assert not placement.is_encoded(0)
+
+    def test_two_per_device(self):
+        placement = Placement.two_per_device(4)
+        assert placement.device_of(0) == placement.device_of(1) == 0
+        assert placement.is_encoded(0)
+        assert placement.qubits_on_device(1) == [2, 3]
+
+    def test_two_per_device_odd_tail(self):
+        placement = Placement.two_per_device(5)
+        assert placement.slot_of(4) == Slot(2, 1)
+        assert placement.occupancy(2) == 1
+
+    def test_double_assignment_rejected(self):
+        placement = Placement()
+        placement.assign(0, Slot(0, 1))
+        with pytest.raises(ValueError):
+            placement.assign(0, Slot(1, 1))
+        with pytest.raises(ValueError):
+            placement.assign(1, Slot(0, 1))
+
+    def test_move_and_swap(self):
+        placement = Placement.one_per_device(2)
+        placement.move(0, Slot(1, 0))
+        assert placement.device_of(0) == 1
+        placement.swap_slots(Slot(1, 0), Slot(1, 1))
+        assert placement.slot_of(0) == Slot(1, 1)
+        assert placement.slot_of(1) == Slot(1, 0)
+
+    def test_swap_with_free_slot(self):
+        placement = Placement.one_per_device(1)
+        placement.swap_slots(Slot(0, 1), Slot(3, 1))
+        assert placement.device_of(0) == 3
+        assert placement.is_free(Slot(0, 1))
+
+    def test_move_to_occupied_slot_rejected(self):
+        placement = Placement.one_per_device(2)
+        with pytest.raises(ValueError):
+            placement.move(0, Slot(1, 1))
+
+    def test_copy_is_independent(self):
+        placement = Placement.one_per_device(2)
+        clone = placement.copy()
+        clone.move(0, Slot(5, 1))
+        assert placement.device_of(0) == 0
+        assert clone != placement
+
+    def test_not_enough_devices(self):
+        with pytest.raises(ValueError):
+            Placement.one_per_device(3, devices=[0, 1])
+
+
+class TestStatePacking:
+    def test_embed_basis_state(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 1)})
+        logical = basis_state((1, 1, 0), (2, 2, 2))
+        physical = embed_logical_state(logical, placement, (4, 2))
+        assert fidelity(physical, basis_state((3, 0), (4, 2))) == pytest.approx(1.0)
+
+    def test_embed_extract_round_trip(self, rng):
+        placement = Placement({0: Slot(1, 1), 1: Slot(0, 0), 2: Slot(0, 1)})
+        logical = haar_random_state(8, rng)
+        physical = embed_logical_state(logical, placement, (4, 4))
+        recovered = extract_logical_state(physical, placement, (4, 4))
+        assert fidelity(logical, recovered) == pytest.approx(1.0)
+
+    def test_embed_mixed_dims_round_trip(self, rng):
+        placement = Placement({0: Slot(0, 1), 1: Slot(2, 1), 2: Slot(1, 0), 3: Slot(1, 1)})
+        logical = haar_random_state(16, rng)
+        physical = embed_logical_state(logical, placement, (2, 4, 4))
+        recovered = extract_logical_state(physical, placement, (2, 4, 4))
+        assert fidelity(logical, recovered) == pytest.approx(1.0)
+
+    def test_extract_requires_clean_free_slots(self):
+        placement = Placement({0: Slot(0, 1)})
+        dirty = basis_state((2,), (4,))  # data in slot 0, which is unassigned
+        with pytest.raises(ValueError):
+            extract_logical_state(dirty, placement, (4,))
+
+    def test_embed_rejects_incomplete_placement(self):
+        placement = Placement({0: Slot(0, 1), 2: Slot(1, 1)})
+        with pytest.raises(ValueError):
+            embed_logical_state(basis_state((0, 0, 0), (2, 2, 2)), placement, (4, 2))
+
+    def test_embed_rejects_bad_length(self):
+        placement = Placement({0: Slot(0, 1)})
+        with pytest.raises(ValueError):
+            embed_logical_state(np.ones(3), placement, (4,))

@@ -1,0 +1,138 @@
+"""Integration tests for the per-figure experiment drivers."""
+
+import pytest
+
+from repro.core.strategies import Strategy
+from repro.experiments import (
+    evaluate_strategy,
+    format_table1,
+    format_table2,
+    run_cswap_study,
+    run_coherence_sensitivity,
+    run_eps_study,
+    run_fidelity_sweep,
+    run_gate_error_sensitivity,
+    run_gate_ratio_study,
+    run_interleaved_rb,
+    summarize_improvements,
+)
+from repro.experiments.tables import table1_rows, table2_rows
+from repro.workloads import generalized_toffoli
+
+
+class TestTables:
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert len(rows) == 31
+        assert ("qudit", "U", 35.0) in rows
+
+    def test_table2_rows_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 21
+        assert ("mixed_radix", "CCZ01q", 264.0) in rows
+        assert ("full_ququart", "CCZ01,0", 232.0) in rows
+
+    def test_formatting(self):
+        assert "Table 1" in format_table1()
+        assert "CCX01q" in format_table2()
+
+
+class TestRunner:
+    def test_evaluate_strategy_without_simulation(self):
+        evaluation = evaluate_strategy(generalized_toffoli(5), Strategy.MIXED_RADIX_CCZ)
+        assert evaluation.simulation is None
+        assert 0.0 < evaluation.mean_fidelity <= 1.0
+        row = evaluation.as_row()
+        assert row["strategy"] == "MIXED_RADIX_CCZ"
+
+    def test_evaluate_strategy_with_simulation(self):
+        evaluation = evaluate_strategy(
+            generalized_toffoli(5), Strategy.FULL_QUQUART, num_trajectories=10, rng=0
+        )
+        assert evaluation.simulation is not None
+        assert evaluation.std_error >= 0.0
+
+
+class TestRandomizedBenchmarking:
+    def test_rb_extracts_sensible_fidelities(self):
+        result = run_interleaved_rb(depths=[1, 10, 30, 60], samples_per_depth=5, rng=0)
+        assert 0.90 < result.rb_fidelity < 1.0
+        assert result.irb_fidelity < result.rb_fidelity
+        assert 0.85 < result.interleaved_gate_fidelity <= 1.0
+        assert len(result.rb_survival) == 4
+        # Survival decays with depth.
+        assert result.rb_survival[0] > result.rb_survival[-1]
+
+    def test_rb_result_as_dict(self):
+        result = run_interleaved_rb(depths=[1, 5], samples_per_depth=3, rng=1)
+        payload = result.as_dict()
+        assert set(payload) >= {"depths", "F_RB", "F_IRB", "F_HH"}
+
+
+class TestSweeps:
+    def test_fidelity_sweep_and_improvements(self):
+        evaluations = run_fidelity_sweep(
+            workloads=("cnu",), sizes=(5,), num_trajectories=5, rng=0
+        )
+        assert len(evaluations) == len(Strategy.figure7_strategies())
+        improvements = summarize_improvements(evaluations)
+        assert 5 in improvements
+        assert "FULL_QUQUART" in improvements[5]
+
+    def test_fidelity_sweep_respects_memory_ceiling(self):
+        evaluations = run_fidelity_sweep(
+            workloads=("cnu",),
+            sizes=(5,),
+            strategies=(Strategy.MIXED_RADIX_CCZ,),
+            num_trajectories=5,
+            simulate_mixed_radix_up_to=4,
+            rng=0,
+        )
+        assert evaluations[0].simulation is None
+
+    def test_eps_study(self):
+        evaluations = run_eps_study(sizes=(5, 9), strategies=(Strategy.QUBIT_ONLY, Strategy.FULL_QUQUART))
+        assert len(evaluations) == 4
+        by_strategy = {(e.num_qubits, e.strategy): e for e in evaluations}
+        assert (
+            by_strategy[(9, Strategy.FULL_QUQUART)].metrics.gate_eps
+            > by_strategy[(9, Strategy.QUBIT_ONLY)].metrics.gate_eps
+        )
+
+    def test_cswap_study(self):
+        evaluations = run_cswap_study(
+            sizes=(5,), strategies=(Strategy.MIXED_RADIX_CSWAP, Strategy.FULL_QUQUART_CSWAP_TARGETS),
+            num_trajectories=5, rng=0,
+        )
+        assert len(evaluations) == 2
+
+    def test_gate_error_sensitivity_declines(self):
+        results = run_gate_error_sensitivity(
+            num_qubits=6,
+            error_factors=(1.0, 8.0),
+            strategies=(Strategy.MIXED_RADIX_CCZ,),
+            num_trajectories=0,
+        )
+        assert len(results) == 2
+        low = results[0][1].metrics.total_eps
+        high = results[1][1].metrics.total_eps
+        assert high < low
+
+    def test_coherence_sensitivity_declines(self):
+        results = run_coherence_sensitivity(
+            num_qubits=6,
+            coherence_scales=(1.0, 16.0),
+            strategies=(Strategy.FULL_QUQUART,),
+            num_trajectories=0,
+        )
+        assert results[1][1].metrics.coherence_eps < results[0][1].metrics.coherence_eps
+
+    def test_gate_ratio_study(self):
+        results = run_gate_ratio_study(
+            num_qubits=6,
+            cx_fractions=(0.0, 1.0),
+            num_gates=10,
+            strategies=(Strategy.MIXED_RADIX_CCZ, Strategy.FULL_QUQUART),
+            num_trajectories=0,
+        )
+        assert len(results) == 4

@@ -1,0 +1,134 @@
+"""Unit tests for the calibrated gate set (Tables 1 and 2)."""
+
+import pytest
+
+from repro.core.gateset import (
+    PAPER_TABLE1_DURATIONS_NS,
+    PAPER_TABLE2_DURATIONS_NS,
+    ErrorModel,
+    GateClass,
+    GateSet,
+)
+
+
+class TestPaperTables:
+    def test_table1_headline_entries(self):
+        assert PAPER_TABLE1_DURATIONS_NS["U"] == 35.0
+        assert PAPER_TABLE1_DURATIONS_NS["CX2"] == 251.0
+        assert PAPER_TABLE1_DURATIONS_NS["iToffoli3"] == 912.0
+        assert PAPER_TABLE1_DURATIONS_NS["ENC"] == 608.0
+        assert PAPER_TABLE1_DURATIONS_NS["SWAP11"] == 964.0
+
+    def test_table2_headline_entries(self):
+        assert PAPER_TABLE2_DURATIONS_NS["CCX01q"] == 412.0
+        assert PAPER_TABLE2_DURATIONS_NS["CCZ01q"] == 264.0
+        assert PAPER_TABLE2_DURATIONS_NS["CCZ01,0"] == 232.0
+        assert PAPER_TABLE2_DURATIONS_NS["CSWAP1,01"] == 432.0
+
+    def test_internal_gates_are_faster_than_qubit_gates(self):
+        # "gates are 5x faster ... than qubit-only schemes" (Section 3.4).
+        assert PAPER_TABLE1_DURATIONS_NS["CX0"] * 3 < PAPER_TABLE1_DURATIONS_NS["CX2"]
+
+    def test_controls_together_toffoli_is_fastest_ccx(self):
+        mixed_ccx = [v for k, v in PAPER_TABLE2_DURATIONS_NS.items() if k.startswith("CCX") and "," not in k]
+        assert PAPER_TABLE2_DURATIONS_NS["CCX01q"] == min(mixed_ccx)
+
+
+class TestErrorModel:
+    def test_default_rates_follow_fidelity_targets(self):
+        model = ErrorModel()
+        assert model.error_rate(GateClass.SINGLE_QUBIT) == pytest.approx(0.001)
+        assert model.error_rate(GateClass.QUBIT_TWO_Q) == pytest.approx(0.01)
+        assert model.error_rate(GateClass.MIXED_RADIX_THREE_Q) == pytest.approx(0.01)
+        assert model.error_rate(GateClass.QUBIT_ITOFFOLI) == pytest.approx(0.01)
+
+    def test_ququart_error_factor_only_hits_higher_level_gates(self):
+        model = ErrorModel(ququart_error_factor=4.0)
+        assert model.error_rate(GateClass.QUBIT_TWO_Q) == pytest.approx(0.01)
+        assert model.error_rate(GateClass.FULL_QUQUART_TWO_Q) == pytest.approx(0.04)
+        assert model.error_rate(GateClass.SINGLE_QUQUART) == pytest.approx(0.004)
+
+    def test_error_rate_is_capped(self):
+        model = ErrorModel(ququart_error_factor=1e6)
+        assert model.error_rate(GateClass.ENCODE) < 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ErrorModel(two_device_error=1.5)
+        with pytest.raises(ValueError):
+            ErrorModel(ququart_error_factor=0.0)
+
+    def test_with_factor_returns_copy(self):
+        model = ErrorModel()
+        scaled = model.with_ququart_error_factor(3.0)
+        assert scaled.ququart_error_factor == 3.0
+        assert model.ququart_error_factor == 1.0
+
+
+class TestGateClass:
+    def test_higher_level_classification(self):
+        assert GateClass.MIXED_RADIX_TWO_Q.uses_higher_levels
+        assert GateClass.ENCODE.uses_higher_levels
+        assert not GateClass.QUBIT_TWO_Q.uses_higher_levels
+        assert not GateClass.QUBIT_ITOFFOLI.uses_higher_levels
+
+    def test_single_device_classification(self):
+        assert GateClass.INTERNAL.is_single_device
+        assert not GateClass.FULL_QUQUART_THREE_Q.is_single_device
+
+
+class TestGateSetLookups:
+    @pytest.fixture
+    def gate_set(self) -> GateSet:
+        return GateSet()
+
+    def test_single_qubit_lookup(self, gate_set):
+        assert gate_set.single_qubit(encoded=False) == (35.0, GateClass.SINGLE_QUBIT)
+        assert gate_set.single_qubit(encoded=True, slot=0) == (87.0, GateClass.SINGLE_QUQUART)
+        assert gate_set.single_qubit(encoded=True, slot=1) == (66.0, GateClass.SINGLE_QUQUART)
+        assert gate_set.single_qubit(encoded=True, both=True) == (86.0, GateClass.SINGLE_QUQUART)
+
+    def test_single_qubit_requires_slot_when_encoded(self, gate_set):
+        with pytest.raises(ValueError):
+            gate_set.single_qubit(encoded=True, slot=None)
+
+    def test_internal_lookup(self, gate_set):
+        assert gate_set.internal_two_qubit("SWAP")[0] == 78.0
+        assert gate_set.internal_cx(0)[0] == 83.0
+        assert gate_set.internal_cx(1)[0] == 84.0
+        with pytest.raises(ValueError):
+            gate_set.internal_two_qubit("ITOFFOLI")
+
+    def test_qubit_two_qubit_lookup(self, gate_set):
+        assert gate_set.qubit_two_qubit("CX")[0] == 251.0
+        assert gate_set.qubit_two_qubit("CSDG")[0] == 126.0
+        assert gate_set.qubit_two_qubit("SWAP")[0] == 504.0
+
+    def test_mixed_radix_lookup_direction_matters(self, gate_set):
+        ququart_controls, _ = gate_set.mixed_radix_two_qubit("CX", 0, ququart_is_control=True)
+        qubit_controls, _ = gate_set.mixed_radix_two_qubit("CX", 0, ququart_is_control=False)
+        assert ququart_controls == 560.0
+        assert qubit_controls == 880.0
+
+    def test_full_ququart_lookup_symmetries(self, gate_set):
+        assert gate_set.full_ququart_two_qubit("CZ", 1, 0)[0] == 488.0
+        assert gate_set.full_ququart_two_qubit("SWAP", 1, 0)[0] == 892.0
+        assert gate_set.full_ququart_two_qubit("CX", 1, 0)[0] == 700.0
+
+    def test_three_qubit_lookup(self, gate_set):
+        assert gate_set.mixed_radix_three_qubit("CCZ01q")[0] == 264.0
+        assert gate_set.full_ququart_three_qubit("CCX01,1")[0] == 552.0
+        with pytest.raises(ValueError):
+            gate_set.mixed_radix_three_qubit("CCX01,1")
+        with pytest.raises(ValueError):
+            gate_set.full_ququart_three_qubit("CCZ01q")
+
+    def test_error_factor_propagates_through_gate_set(self):
+        gate_set = GateSet(error_model=ErrorModel(ququart_error_factor=2.0))
+        assert gate_set.error_rate(GateClass.MIXED_RADIX_TWO_Q) == pytest.approx(0.02)
+        assert gate_set.fidelity(GateClass.QUBIT_TWO_Q) == pytest.approx(0.99)
+
+    def test_with_error_model_copy(self, gate_set):
+        scaled = gate_set.with_error_model(ErrorModel(ququart_error_factor=5.0))
+        assert scaled.error_rate(GateClass.ENCODE) == pytest.approx(0.05)
+        assert gate_set.error_rate(GateClass.ENCODE) == pytest.approx(0.01)

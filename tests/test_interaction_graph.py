@@ -1,0 +1,53 @@
+"""Unit tests for the expanded interaction graph (Figure 3)."""
+
+import pytest
+
+from repro.core.interaction_graph import InteractionGraph, build_interaction_graph
+from repro.core.physical import Slot
+from repro.topology.device import Device
+
+
+class TestInteractionGraph:
+    @pytest.fixture
+    def device(self) -> Device:
+        return Device.mesh(4)  # 2x2 grid
+
+    def test_node_and_edge_counts(self, device):
+        graph = build_interaction_graph(device)
+        assert graph.number_of_nodes() == 2 * device.num_devices
+        internal = sum(1 for *_, data in graph.edges(data=True) if data["kind"] == "internal")
+        external = sum(1 for *_, data in graph.edges(data=True) if data["kind"] == "external")
+        assert internal == device.num_devices
+        assert external == 4 * device.coupling_graph.number_of_edges()
+
+    def test_adjacency_rules(self, device):
+        interaction = InteractionGraph(device)
+        assert interaction.are_adjacent(Slot(0, 0), Slot(0, 1))
+        assert interaction.are_adjacent(Slot(0, 1), Slot(1, 0))
+        assert not interaction.are_adjacent(Slot(0, 0), Slot(3, 0))
+
+    def test_slot_distance_uses_device_distance(self, device):
+        interaction = InteractionGraph(device)
+        assert interaction.slot_distance(Slot(0, 0), Slot(0, 1)) == 0
+        assert interaction.slot_distance(Slot(0, 0), Slot(3, 1)) == 2
+
+    def test_triangles_exist_only_with_encoding(self, device):
+        interaction = InteractionGraph(device)
+        # The bare 2x2 mesh has no triangles, the interaction graph has many.
+        assert interaction.count_triangles() > 0
+        import networkx as nx
+
+        assert sum(nx.triangles(device.coupling_graph).values()) == 0
+
+    def test_connectivity_gain_exceeds_physical(self, device):
+        interaction = InteractionGraph(device)
+        assert interaction.virtual_edge_count() > interaction.physical_edge_count()
+        assert interaction.connectivity_gain() > 2.0
+
+    def test_degree_of_encoded_qubit(self):
+        # In a line of two ququarts every encoded qubit sees 3 partners
+        # (its ququart partner plus the two slots of the neighbour).
+        device = Device.mesh(2)
+        interaction = InteractionGraph(device)
+        assert interaction.degree(Slot(0, 0)) == 3
+        assert sorted(interaction.neighbors(Slot(0, 0))) == [Slot(0, 1), Slot(1, 0), Slot(1, 1)]

@@ -1,0 +1,85 @@
+"""Unit tests for interaction weights and initial placement."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.mapping import (
+    central_device,
+    interaction_weights,
+    place_one_per_device,
+    place_two_per_ququart,
+    total_weight,
+)
+from repro.topology.device import Device
+
+
+class TestInteractionWeights:
+    def test_lookahead_discount(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(0, 1).cx(1, 2)
+        weights = interaction_weights(circuit)
+        # (0, 1) interacts in layers 1 and 2, (1, 2) only in layer 3.
+        assert weights[(0, 1)] == pytest.approx(1.0 + 0.5)
+        assert weights[(1, 2)] == pytest.approx(1.0 / 3.0)
+
+    def test_three_qubit_gate_contributes_all_pairs(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        weights = interaction_weights(circuit)
+        assert set(weights) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_total_weight(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(0, 2)
+        weights = interaction_weights(circuit)
+        assert total_weight(weights, 0, [1, 2]) > total_weight(weights, 1, [2])
+
+
+class TestCentralDevice:
+    def test_centre_of_3x3_mesh(self):
+        assert central_device(Device.mesh(9)) == 4
+
+    def test_centre_of_line(self):
+        from repro.topology.mesh import linear_topology
+
+        device = Device(coupling_graph=linear_topology(5))
+        assert central_device(device) == 2
+
+
+class TestPlacement:
+    def test_one_per_device_covers_all_qubits(self):
+        circuit = QuantumCircuit(5).ccx(0, 1, 2).cx(3, 4)
+        placement = place_one_per_device(circuit, Device.mesh(5))
+        assert sorted(placement.qubits()) == list(range(5))
+        assert len(placement.devices_in_use()) == 5
+
+    def test_one_per_device_places_heavy_pair_adjacent(self):
+        circuit = QuantumCircuit(4)
+        for _ in range(5):
+            circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        device = Device.mesh(4)
+        placement = place_one_per_device(circuit, device)
+        assert device.distance(placement.device_of(0), placement.device_of(1)) == 1
+
+    def test_one_per_device_requires_enough_devices(self):
+        with pytest.raises(ValueError):
+            place_one_per_device(QuantumCircuit(5).cx(0, 1), Device.mesh(4))
+
+    def test_two_per_ququart_packs_pairs(self):
+        circuit = QuantumCircuit(6)
+        for _ in range(4):
+            circuit.cx(0, 1)
+            circuit.cx(2, 3)
+            circuit.cx(4, 5)
+        placement = place_two_per_ququart(circuit, Device.mesh(3))
+        # Strongly interacting pairs should share a ququart.
+        assert placement.device_of(0) == placement.device_of(1)
+        assert placement.device_of(2) == placement.device_of(3)
+        assert placement.device_of(4) == placement.device_of(5)
+
+    def test_two_per_ququart_requires_enough_devices(self):
+        with pytest.raises(ValueError):
+            place_two_per_ququart(QuantumCircuit(7).cx(0, 1), Device.mesh(3))
+
+    def test_two_per_ququart_covers_all_qubits(self):
+        circuit = QuantumCircuit(5).ccx(0, 1, 2).cswap(2, 3, 4)
+        placement = place_two_per_ququart(circuit, Device.mesh(3))
+        assert sorted(placement.qubits()) == list(range(5))

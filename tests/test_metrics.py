@@ -1,0 +1,118 @@
+"""Unit tests for the EPS estimators (Section 6.3)."""
+
+import math
+
+import pytest
+
+from repro.core.compiler import compile_circuit
+from repro.core.gateset import GateClass
+from repro.core.metrics import coherence_eps, evaluate_metrics, gate_eps
+from repro.core.physical import PhysicalCircuit, PhysicalOp
+from repro.core.strategies import Strategy
+from repro.topology.device import CoherenceModel
+from repro.workloads import generalized_toffoli
+
+
+def _op(devices, duration, error=0.01, modes=()):
+    return PhysicalOp(
+        label="CX2",
+        logical_name="CX",
+        devices=devices,
+        operand_slots=((0, 1), (1, 1)),
+        duration_ns=duration,
+        error_rate=error,
+        gate_class=GateClass.QUBIT_TWO_Q,
+        sets_mode=tuple(modes),
+    )
+
+
+class TestGateEps:
+    def test_product_of_success_rates(self):
+        circuit = PhysicalCircuit(2, device_dims=2)
+        circuit.append(_op((0, 1), 100.0, error=0.1))
+        circuit.append(_op((0, 1), 100.0, error=0.2))
+        assert gate_eps(circuit) == pytest.approx(0.9 * 0.8)
+
+    def test_empty_circuit(self):
+        assert gate_eps(PhysicalCircuit(1)) == 1.0
+
+
+class TestCoherenceEps:
+    def test_single_device_in_qubit_mode(self):
+        coherence = CoherenceModel(base_t1_ns=1000.0)
+        circuit = PhysicalCircuit(2, device_dims=2)
+        circuit.initial_modes = {0: 1, 1: 1}
+        circuit.append(_op((0, 1), 100.0, modes=((0, 1), (1, 1))))
+        expected = math.exp(-2 * 100.0 / 1000.0)
+        assert coherence_eps(circuit, coherence) == pytest.approx(expected)
+
+    def test_higher_mode_decays_faster(self):
+        coherence = CoherenceModel(base_t1_ns=1000.0)
+        qubit_circuit = PhysicalCircuit(2, device_dims=4)
+        qubit_circuit.initial_modes = {0: 1, 1: 1}
+        qubit_circuit.append(_op((0, 1), 100.0, modes=((0, 1), (1, 1))))
+        ququart_circuit = PhysicalCircuit(2, device_dims=4)
+        ququart_circuit.initial_modes = {0: 3, 1: 1}
+        ququart_circuit.append(_op((0, 1), 100.0, modes=((0, 3), (1, 1))))
+        assert coherence_eps(ququart_circuit, coherence) < coherence_eps(qubit_circuit, coherence)
+
+    def test_mode_change_mid_circuit(self):
+        coherence = CoherenceModel(base_t1_ns=1000.0)
+        circuit = PhysicalCircuit(1, device_dims=4)
+        circuit.initial_modes = {0: 1}
+        # One 100 ns op that promotes the device to ququart mode, then a
+        # second 100 ns op that brings it back to qubit mode.
+        circuit.append(
+            PhysicalOp(
+                label="ENC", logical_name="ENC", devices=(0,), operand_slots=((0, 0),),
+                duration_ns=100.0, error_rate=0.0, gate_class=GateClass.ENCODE,
+                sets_mode=((0, 3),),
+            )
+        )
+        circuit.append(
+            PhysicalOp(
+                label="ENC_dg", logical_name="ENC", devices=(0,), operand_slots=((0, 0),),
+                duration_ns=100.0, error_rate=0.0, gate_class=GateClass.ENCODE,
+                sets_mode=((0, 1),),
+            )
+        )
+        expected = math.exp(-(1 * 100.0 + 3 * 100.0) / 1000.0)
+        assert coherence_eps(circuit, coherence) == pytest.approx(expected)
+
+    def test_empty_devices_do_not_decay(self):
+        coherence = CoherenceModel(base_t1_ns=1000.0)
+        circuit = PhysicalCircuit(3, device_dims=2)
+        circuit.initial_modes = {0: 1, 1: 1, 2: 0}
+        circuit.append(_op((0, 1), 500.0, modes=((0, 1), (1, 1))))
+        expected = math.exp(-2 * 500.0 / 1000.0)
+        assert coherence_eps(circuit, coherence) == pytest.approx(expected)
+
+    def test_empty_circuit(self):
+        assert coherence_eps(PhysicalCircuit(2)) == 1.0
+
+
+class TestEvaluateMetrics:
+    def test_total_is_product(self):
+        result = compile_circuit(generalized_toffoli(5), Strategy.MIXED_RADIX_CCZ)
+        metrics = evaluate_metrics(result.physical_circuit)
+        assert metrics.total_eps == pytest.approx(metrics.gate_eps * metrics.coherence_eps)
+        assert 0.0 < metrics.total_eps < 1.0
+        assert metrics.duration_ns == pytest.approx(result.duration_ns)
+
+    def test_as_dict_contains_class_counts(self):
+        result = compile_circuit(generalized_toffoli(5), Strategy.MIXED_RADIX_CCZ)
+        metrics = evaluate_metrics(result.physical_circuit)
+        row = metrics.as_dict()
+        assert "gate_eps" in row and "num_ops" in row
+        assert any(key.startswith("count_") for key in row)
+
+    def test_gate_eps_reflects_gate_counts(self):
+        circuit = generalized_toffoli(7)
+        qubit_only = evaluate_metrics(
+            compile_circuit(circuit, Strategy.QUBIT_ONLY).physical_circuit
+        )
+        full = evaluate_metrics(
+            compile_circuit(circuit, Strategy.FULL_QUQUART).physical_circuit
+        )
+        # Figure 8: full-ququart compilation has far better gate EPS.
+        assert full.gate_eps > qubit_only.gate_eps

@@ -1,0 +1,84 @@
+"""Unit tests for the qudit error channels (Section 6.5)."""
+
+import numpy as np
+import pytest
+
+from repro.noise.channels import (
+    depolarizing_operators,
+    num_error_channels,
+    qudit_amplitude_damping,
+    sample_depolarizing_error,
+    sample_depolarizing_error_factors,
+)
+
+
+class TestDepolarizing:
+    def test_channel_counts_match_paper(self):
+        # 15 channels for two qubits, 255 for a ququart pair... the paper's
+        # 1 - 15p vs 1 - 255p comparison.
+        assert num_error_channels((2, 2)) == 15
+        assert num_error_channels((4,)) == 15
+        assert num_error_channels((4, 4)) == 255
+        assert num_error_channels((2, 4)) == 63
+
+    def test_operator_list_matches_count(self):
+        ops = depolarizing_operators((2, 4))
+        assert len(ops) == 63
+        for op in ops:
+            assert op.shape == (8, 8)
+            assert np.allclose(op @ op.conj().T, np.eye(8), atol=1e-10)
+
+    def test_single_qubit_operators_are_paulis(self):
+        ops = depolarizing_operators((2,))
+        assert len(ops) == 3
+
+    def test_sampling_probability(self, rng):
+        draws = [sample_depolarizing_error_factors((2,), 0.5, rng) for _ in range(2000)]
+        errors = sum(1 for d in draws if d is not None)
+        assert 0.4 < errors / 2000 < 0.6
+
+    def test_sampling_zero_probability_never_errors(self, rng):
+        assert all(
+            sample_depolarizing_error_factors((4, 4), 0.0, rng) is None for _ in range(50)
+        )
+
+    def test_sampled_factors_have_device_dims(self, rng):
+        for _ in range(50):
+            factors = sample_depolarizing_error_factors((2, 4), 0.999, rng)
+            if factors is None:
+                continue
+            assert factors[0].shape == (2, 2)
+            assert factors[1].shape == (4, 4)
+            # At least one factor must be a non-identity error.
+            assert not all(np.allclose(f, np.eye(f.shape[0])) for f in factors)
+
+    def test_full_operator_wrapper(self, rng):
+        operator = sample_depolarizing_error((2, 2), 0.999, rng)
+        assert operator is None or operator.shape == (4, 4)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            sample_depolarizing_error_factors((2,), 1.5, rng)
+
+
+class TestAmplitudeDamping:
+    def test_kraus_completeness(self):
+        kraus = qudit_amplitude_damping(4, duration_ns=500.0, t1_ns=10000.0)
+        total = sum(k.conj().T @ k for k in kraus)
+        assert np.allclose(total, np.eye(4))
+
+    def test_higher_levels_decay_faster(self):
+        kraus = qudit_amplitude_damping(4, duration_ns=1000.0, t1_ns=10000.0)
+        # K_m = sqrt(lambda_m) |0><m|; lambda increases with the level.
+        lambdas = [abs(kraus[m][0, m]) ** 2 for m in range(1, 4)]
+        assert lambdas[0] < lambdas[1] < lambdas[2]
+
+    def test_zero_duration_is_identity_channel(self):
+        kraus = qudit_amplitude_damping(4, duration_ns=0.0, t1_ns=10000.0)
+        assert np.allclose(kraus[0], np.eye(4))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            qudit_amplitude_damping(4, duration_ns=-1.0, t1_ns=100.0)
+        with pytest.raises(ValueError):
+            qudit_amplitude_damping(4, duration_ns=1.0, t1_ns=0.0)

@@ -1,0 +1,152 @@
+"""Unit tests for the optimal-control substrate (Sections 2.3 and 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import gate_unitary
+from repro.pulse.calibration import (
+    TABLE1_GROUPS,
+    calibrated_duration,
+    logical_target_for_label,
+    table1_durations,
+    table2_durations,
+)
+from repro.pulse.grape import GrapeOptimizer
+from repro.pulse.hamiltonian import TransmonSystem
+from repro.pulse.pulses import PiecewiseConstantPulse
+from repro.pulse.synthesis import PulseSynthesizer
+
+
+class TestTransmonSystem:
+    def test_dimensions(self):
+        system = TransmonSystem(num_transmons=2, levels_per_transmon=3, logical_levels=2)
+        assert system.hilbert_dimension == 9
+        assert system.logical_dimension == 4
+        assert system.dims == (3, 3)
+
+    def test_drift_is_hermitian(self):
+        system = TransmonSystem(num_transmons=2, levels_per_transmon=4, logical_levels=2)
+        drift = system.drift_hamiltonian()
+        assert np.allclose(drift, drift.conj().T)
+
+    def test_controls_are_hermitian(self):
+        system = TransmonSystem(num_transmons=1, levels_per_transmon=4, logical_levels=4)
+        for control in system.control_operators():
+            assert np.allclose(control, control.conj().T)
+        assert len(system.control_operators()) == 2
+
+    def test_anharmonicity_sets_level_spacing(self):
+        system = TransmonSystem(num_transmons=1, levels_per_transmon=3, logical_levels=2)
+        drift = system.drift_hamiltonian()
+        # In the rotating frame of transmon 1 the |1> level has zero energy
+        # and the |2> level sits at the anharmonicity.
+        assert drift[1, 1] == pytest.approx(0.0)
+        assert drift[2, 2] == pytest.approx(2 * np.pi * (-0.330), rel=1e-6)
+
+    def test_logical_projector_excludes_guard_levels(self):
+        system = TransmonSystem(num_transmons=1, levels_per_transmon=5, logical_levels=4)
+        iso = system.logical_projector()
+        assert iso.shape == (5, 4)
+        guard = system.guard_projector()
+        assert np.trace(guard).real == pytest.approx(1.0)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            TransmonSystem(num_transmons=4)
+        with pytest.raises(ValueError):
+            TransmonSystem(num_transmons=1, levels_per_transmon=2, logical_levels=4)
+
+
+class TestPiecewiseConstantPulse:
+    def test_shape_and_segment_duration(self):
+        pulse = PiecewiseConstantPulse(np.zeros((2, 10)), duration_ns=50.0)
+        assert pulse.num_controls == 2
+        assert pulse.num_segments == 10
+        assert pulse.segment_duration_ns == pytest.approx(5.0)
+
+    def test_sampling(self):
+        pulse = PiecewiseConstantPulse(np.array([[1.0, 2.0, 3.0]]), duration_ns=30.0)
+        samples = pulse.sample(np.array([0.0, 15.0, 29.9, 35.0]))
+        assert samples[0].tolist() == [1.0, 2.0, 3.0, 3.0]
+
+    def test_clipping(self):
+        pulse = PiecewiseConstantPulse(np.array([[10.0, -10.0]]), 10.0, max_amplitude=1.0)
+        assert pulse.exceeds_bound()
+        clipped = pulse.clipped()
+        assert not clipped.exceeds_bound()
+        assert np.all(np.abs(clipped.amplitudes) <= 1.0)
+
+    def test_random_respects_bound(self, rng):
+        pulse = PiecewiseConstantPulse.random(2, 8, 40.0, max_amplitude=0.3, rng=rng)
+        assert not pulse.exceeds_bound()
+        assert pulse.energy() > 0.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantPulse(np.zeros((1, 4)), duration_ns=0.0)
+
+
+class TestGrapeAndSynthesis:
+    def test_x_gate_reaches_target_fidelity(self):
+        system = TransmonSystem(num_transmons=1, levels_per_transmon=4, logical_levels=2)
+        synthesizer = PulseSynthesizer(system, maxiter=200, rng=0)
+        result = synthesizer.synthesize_at_duration(gate_unitary("X"), duration_ns=35.0)
+        assert result.fidelity > 0.999
+        assert result.leakage < 1e-2
+        assert not result.pulse.exceeds_bound()
+
+    def test_identity_gate_with_zero_pulse(self):
+        system = TransmonSystem(num_transmons=1, levels_per_transmon=4, logical_levels=2)
+        optimizer = GrapeOptimizer(system)
+        pulse = PiecewiseConstantPulse.zeros(2, 8, 10.0)
+        propagator = optimizer.propagator(pulse)
+        fidelity = optimizer.fidelity(propagator, np.eye(2))
+        assert fidelity > 0.999
+
+    def test_target_shape_validation(self):
+        system = TransmonSystem(num_transmons=1, levels_per_transmon=4, logical_levels=2)
+        optimizer = GrapeOptimizer(system)
+        with pytest.raises(ValueError):
+            optimizer.optimize(np.eye(4), duration_ns=20.0)
+
+    def test_hh_ququart_gate_synthesis(self):
+        system = TransmonSystem(num_transmons=1, levels_per_transmon=5, logical_levels=4)
+        synthesizer = PulseSynthesizer(system, maxiter=250, rng=1)
+        target = np.kron(gate_unitary("H"), gate_unitary("H"))
+        result = synthesizer.synthesize_at_duration(target, duration_ns=90.0)
+        assert result.fidelity > 0.99
+
+    def test_duration_search_shrinks(self):
+        system = TransmonSystem(num_transmons=1, levels_per_transmon=3, logical_levels=2)
+        synthesizer = PulseSynthesizer(system, maxiter=120, rng=2, fidelity_target=0.999)
+        search = synthesizer.minimize_duration(
+            gate_unitary("X"), initial_duration_ns=60.0, max_rounds=3
+        )
+        assert search.achieved_target
+        assert search.duration_ns < 60.0
+        assert len(search.attempts) >= 2
+
+
+class TestCalibration:
+    def test_tables_round_trip(self):
+        assert table1_durations()["U"] == 35.0
+        assert table2_durations()["CCZ01q"] == 264.0
+        assert calibrated_duration("CX2") == 251.0
+        assert calibrated_duration("CSWAP1,01") == 432.0
+        with pytest.raises(KeyError):
+            calibrated_duration("NOPE")
+
+    def test_groups_cover_table1(self):
+        labels = {label for group in TABLE1_GROUPS.values() for label in group}
+        assert labels == set(table1_durations())
+
+    def test_logical_targets_are_unitary(self):
+        for label in ["U", "U01", "CX0", "SWAP_in", "CX2", "CXq0", "CX0q", "SWAPq1", "ENC"]:
+            matrix, dims = logical_target_for_label(label)
+            dim = int(np.prod(dims))
+            assert matrix.shape == (dim, dim)
+            assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+    def test_unknown_target_label(self):
+        with pytest.raises(KeyError):
+            logical_target_for_label("CCX01q")

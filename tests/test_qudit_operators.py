@@ -1,0 +1,112 @@
+"""Unit tests for generalized qudit operators."""
+
+import numpy as np
+import pytest
+
+from repro.qudit.operators import (
+    amplitude_damping_kraus,
+    generalized_pauli_basis,
+    generalized_x,
+    generalized_z,
+    idle_decay_probabilities,
+    matrix_unit,
+    qudit_identity,
+)
+
+
+class TestGeneralizedPaulis:
+    def test_x_reduces_to_pauli_x_for_qubits(self):
+        expected = np.array([[0, 1], [1, 0]], dtype=complex)
+        assert np.allclose(generalized_x(2), expected)
+
+    def test_z_reduces_to_pauli_z_for_qubits(self):
+        expected = np.diag([1, -1]).astype(complex)
+        assert np.allclose(generalized_z(2), expected)
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_x_is_cyclic_shift(self, dim):
+        x = generalized_x(dim)
+        for level in range(dim):
+            vec = np.zeros(dim)
+            vec[level] = 1.0
+            shifted = x @ vec
+            assert shifted[(level + 1) % dim] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_x_to_the_d_is_identity(self, dim):
+        x = generalized_x(dim)
+        assert np.allclose(np.linalg.matrix_power(x, dim), np.eye(dim))
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_z_to_the_d_is_identity(self, dim):
+        z = generalized_z(dim)
+        assert np.allclose(np.linalg.matrix_power(z, dim), np.eye(dim))
+
+    @pytest.mark.parametrize("dim", [2, 4])
+    def test_operators_are_unitary(self, dim):
+        for op in generalized_pauli_basis(dim):
+            assert np.allclose(op @ op.conj().T, np.eye(dim))
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_basis_size(self, dim):
+        assert len(generalized_pauli_basis(dim)) == dim * dim - 1
+        assert len(generalized_pauli_basis(dim, include_identity=True)) == dim * dim
+
+    def test_basis_is_orthogonal_under_trace(self):
+        basis = generalized_pauli_basis(4, include_identity=True)
+        gram = np.array([[np.trace(a.conj().T @ b) for b in basis] for a in basis])
+        assert np.allclose(gram, 4 * np.eye(16), atol=1e-10)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            generalized_x(1)
+        with pytest.raises(ValueError):
+            generalized_z(1)
+
+
+class TestAmplitudeDamping:
+    def test_kraus_completeness(self):
+        kraus = amplitude_damping_kraus(4, [0.1, 0.2, 0.3])
+        total = sum(k.conj().T @ k for k in kraus)
+        assert np.allclose(total, np.eye(4))
+
+    def test_qubit_case_matches_textbook(self):
+        lam = 0.25
+        k0, k1 = amplitude_damping_kraus(2, [lam])
+        assert np.allclose(k0, np.diag([1.0, np.sqrt(1 - lam)]))
+        assert k1[0, 1] == pytest.approx(np.sqrt(lam))
+
+    def test_wrong_number_of_probabilities(self):
+        with pytest.raises(ValueError):
+            amplitude_damping_kraus(4, [0.1, 0.2])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            amplitude_damping_kraus(2, [1.5])
+
+    def test_idle_decay_probabilities_scaling(self):
+        probs = idle_decay_probabilities(4, duration=100.0, t1=1000.0)
+        assert len(probs) == 3
+        # Higher levels decay faster.
+        assert probs[0] < probs[1] < probs[2]
+        assert probs[0] == pytest.approx(1 - np.exp(-0.1))
+
+    def test_idle_decay_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            idle_decay_probabilities(4, -1.0, 100.0)
+        with pytest.raises(ValueError):
+            idle_decay_probabilities(4, 1.0, 0.0)
+
+
+class TestSmallHelpers:
+    def test_identity(self):
+        assert np.allclose(qudit_identity(3), np.eye(3))
+
+    def test_matrix_unit(self):
+        unit = matrix_unit(0, 2, 4)
+        assert unit[0, 2] == 1.0
+        assert np.count_nonzero(unit) == 1
+
+    def test_matrix_unit_bounds(self):
+        with pytest.raises(ValueError):
+            matrix_unit(4, 0, 4)

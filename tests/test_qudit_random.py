@@ -1,0 +1,48 @@
+"""Unit tests for random state / unitary sampling."""
+
+import numpy as np
+import pytest
+
+from repro.qudit.random import haar_random_state, haar_random_unitary, random_product_state
+
+
+class TestHaarRandom:
+    def test_state_is_normalised(self, rng):
+        state = haar_random_state((4, 2), rng)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+        assert state.shape == (8,)
+
+    def test_state_accepts_integer_dimension(self, rng):
+        state = haar_random_state(16, rng)
+        assert state.shape == (16,)
+
+    def test_unitary_is_unitary(self, rng):
+        unitary = haar_random_unitary(4, rng)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(4), atol=1e-10)
+
+    def test_reproducible_with_seed(self):
+        a = haar_random_state(8, 42)
+        b = haar_random_state(8, 42)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = haar_random_state(8, 1)
+        b = haar_random_state(8, 2)
+        assert not np.allclose(a, b)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            haar_random_unitary(0)
+
+
+class TestProductState:
+    def test_product_state_norm(self, rng):
+        state = random_product_state((4, 2, 2), rng)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+        assert state.shape == (16,)
+
+    def test_product_state_has_no_entanglement(self, rng):
+        state = random_product_state((2, 2), rng).reshape(2, 2)
+        # A product state has a rank-1 Schmidt decomposition.
+        singular_values = np.linalg.svd(state, compute_uv=False)
+        assert singular_values[1] == pytest.approx(0.0, abs=1e-10)

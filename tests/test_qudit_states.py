@@ -1,0 +1,139 @@
+"""Unit tests for mixed-radix statevector utilities."""
+
+import numpy as np
+import pytest
+
+from repro.qudit.states import (
+    MixedRadixState,
+    apply_unitary,
+    basis_state,
+    fidelity,
+    index_to_levels,
+    levels_to_index,
+    state_dimension,
+)
+
+
+class TestIndexing:
+    def test_state_dimension(self):
+        assert state_dimension((2, 2)) == 4
+        assert state_dimension((4, 2, 4)) == 32
+
+    def test_state_dimension_rejects_small_dims(self):
+        with pytest.raises(ValueError):
+            state_dimension((2, 1))
+
+    def test_levels_to_index_round_trip(self):
+        dims = (4, 2, 3)
+        for index in range(state_dimension(dims)):
+            levels = index_to_levels(index, dims)
+            assert levels_to_index(levels, dims) == index
+
+    def test_levels_to_index_examples(self):
+        assert levels_to_index((1, 0), (2, 2)) == 2
+        assert levels_to_index((3, 1), (4, 2)) == 7
+        assert index_to_levels(7, (4, 2)) == (3, 1)
+
+    def test_levels_out_of_range(self):
+        with pytest.raises(ValueError):
+            levels_to_index((2, 0), (2, 2))
+        with pytest.raises(ValueError):
+            index_to_levels(8, (4, 2))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            levels_to_index((0,), (2, 2))
+
+
+class TestBasisAndFidelity:
+    def test_basis_state_is_one_hot(self):
+        vec = basis_state((2, 1), (4, 2))
+        assert vec[levels_to_index((2, 1), (4, 2))] == 1.0
+        assert np.count_nonzero(vec) == 1
+
+    def test_fidelity_of_identical_states(self):
+        vec = basis_state((1, 0), (2, 2))
+        assert fidelity(vec, vec) == pytest.approx(1.0)
+
+    def test_fidelity_of_orthogonal_states(self):
+        a = basis_state((0, 0), (2, 2))
+        b = basis_state((1, 1), (2, 2))
+        assert fidelity(a, b) == pytest.approx(0.0)
+
+    def test_fidelity_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fidelity(np.zeros(4), np.zeros(8))
+
+
+class TestApplyUnitary:
+    def test_single_device_x_gate(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        state = basis_state((0, 0), (2, 2))
+        out = apply_unitary(state, x, (1,), (2, 2))
+        assert fidelity(out, basis_state((0, 1), (2, 2))) == pytest.approx(1.0)
+
+    def test_two_device_cx(self):
+        cx = np.eye(4, dtype=complex)[:, [0, 1, 3, 2]]
+        state = basis_state((1, 0), (2, 2))
+        out = apply_unitary(state, cx, (0, 1), (2, 2))
+        assert fidelity(out, basis_state((1, 1), (2, 2))) == pytest.approx(1.0)
+
+    def test_operand_order_matters(self):
+        cx = np.eye(4, dtype=complex)[:, [0, 1, 3, 2]]
+        state = basis_state((0, 1), (2, 2))
+        out = apply_unitary(state, cx, (1, 0), (2, 2))
+        assert fidelity(out, basis_state((1, 1), (2, 2))) == pytest.approx(1.0)
+
+    def test_mixed_radix_targets(self):
+        x4 = np.roll(np.eye(4, dtype=complex), 1, axis=0)
+        state = basis_state((0, 1), (4, 2))
+        out = apply_unitary(state, x4, (0,), (4, 2))
+        assert fidelity(out, basis_state((1, 1), (4, 2))) == pytest.approx(1.0)
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ValueError):
+            apply_unitary(basis_state((0, 0), (2, 2)), np.eye(4), (0, 0), (2, 2))
+
+    def test_wrong_unitary_shape_rejected(self):
+        with pytest.raises(ValueError):
+            apply_unitary(basis_state((0, 0), (2, 2)), np.eye(8), (0, 1), (2, 2))
+
+    def test_norm_preserved_on_random_state(self):
+        rng = np.random.default_rng(0)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        state /= np.linalg.norm(state)
+        hadamard = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+        out = apply_unitary(state, hadamard, (2,), (2, 2, 2))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+
+class TestMixedRadixState:
+    def test_ground_state(self):
+        state = MixedRadixState.ground((4, 2))
+        assert state.probability_of((0, 0)) == pytest.approx(1.0)
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_from_levels_and_populations(self):
+        state = MixedRadixState.from_levels((3, 1), (4, 2))
+        populations = state.level_populations(0)
+        assert populations[3] == pytest.approx(1.0)
+        assert state.level_populations(1)[1] == pytest.approx(1.0)
+
+    def test_apply_returns_new_state(self):
+        state = MixedRadixState.ground((2, 2))
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        new_state = state.apply(x, (0,))
+        assert state.probability_of((0, 0)) == pytest.approx(1.0)
+        assert new_state.probability_of((1, 0)) == pytest.approx(1.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MixedRadixState(np.zeros(5), (2, 2))
+
+    def test_renormalized(self):
+        state = MixedRadixState(np.array([2.0, 0, 0, 0], dtype=complex), (2, 2))
+        assert state.renormalized().norm() == pytest.approx(1.0)
+
+    def test_renormalize_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            MixedRadixState(np.zeros(4, dtype=complex), (2, 2)).renormalized()

@@ -1,0 +1,134 @@
+"""Unit tests for the ququart gate-embedding machinery (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import gate_unitary
+from repro.qudit.states import basis_state, fidelity
+from repro.qudit.unitaries import (
+    QUBIT_ENCODING,
+    decode_ququart_state,
+    embed_qubit_unitary,
+    encode_qubit_pair,
+    encoding_permutation,
+    internal_unitary,
+    qubit_slots,
+    slots_per_device,
+)
+
+
+class TestEncoding:
+    def test_encoding_map_is_binary_expansion(self):
+        for (q0, q1), level in QUBIT_ENCODING.items():
+            assert level == 2 * q0 + q1
+
+    def test_encode_qubit_pair_matches_kron(self):
+        zero = np.array([1, 0], dtype=complex)
+        one = np.array([0, 1], dtype=complex)
+        assert np.allclose(encode_qubit_pair(one, zero), basis_state((2,), (4,)))
+        assert np.allclose(encode_qubit_pair(one, one), basis_state((3,), (4,)))
+
+    def test_decode_round_trip(self):
+        rng = np.random.default_rng(3)
+        pair = rng.normal(size=4) + 1j * rng.normal(size=4)
+        pair /= np.linalg.norm(pair)
+        assert np.allclose(decode_ququart_state(pair), pair)
+
+    def test_slots_per_device(self):
+        assert slots_per_device(2) == 1
+        assert slots_per_device(4) == 2
+        with pytest.raises(ValueError):
+            slots_per_device(3)
+
+    def test_qubit_slots_enumeration(self):
+        assert qubit_slots((4, 2)) == [(0, 0), (0, 1), (1, 0)]
+        assert qubit_slots((2, 4)) == [(0, 0), (1, 0), (1, 1)]
+
+
+class TestEmbedding:
+    def test_single_qubit_gate_on_slot0(self):
+        x = gate_unitary("X")
+        embedded = embed_qubit_unitary(x, [(0, 0)], (4,))
+        # X on the high encoded bit maps levels 0<->2 and 1<->3.
+        assert np.allclose(embedded @ basis_state((0,), (4,)), basis_state((2,), (4,)))
+        assert np.allclose(embedded @ basis_state((1,), (4,)), basis_state((3,), (4,)))
+
+    def test_single_qubit_gate_on_slot1(self):
+        x = gate_unitary("X")
+        embedded = embed_qubit_unitary(x, [(0, 1)], (4,))
+        assert np.allclose(embedded @ basis_state((0,), (4,)), basis_state((1,), (4,)))
+        assert np.allclose(embedded @ basis_state((2,), (4,)), basis_state((3,), (4,)))
+
+    def test_internal_cx_is_level_permutation(self):
+        cx = gate_unitary("CX")
+        # Control slot 0, target slot 1: |2> -> |3>, |3> -> |2>.
+        embedded = embed_qubit_unitary(cx, [(0, 0), (0, 1)], (4,))
+        assert np.allclose(embedded @ basis_state((2,), (4,)), basis_state((3,), (4,)))
+        assert np.allclose(embedded @ basis_state((3,), (4,)), basis_state((2,), (4,)))
+        assert np.allclose(embedded @ basis_state((1,), (4,)), basis_state((1,), (4,)))
+
+    def test_cx0_swaps_levels_1_and_3(self):
+        # CX0 (control = second encoded qubit, target = first) swaps |1> and |3>
+        # as described in Section 3.2.
+        cx = gate_unitary("CX")
+        embedded = embed_qubit_unitary(cx, [(0, 1), (0, 0)], (4,))
+        assert np.allclose(embedded @ basis_state((1,), (4,)), basis_state((3,), (4,)))
+        assert np.allclose(embedded @ basis_state((3,), (4,)), basis_state((1,), (4,)))
+
+    def test_mixed_radix_ccx_is_3_controlled_x(self):
+        ccx = gate_unitary("CCX")
+        embedded = embed_qubit_unitary(ccx, [(0, 0), (0, 1), (1, 0)], (4, 2))
+        # Only the ququart |3> state (= |11>) flips the bare qubit.
+        assert np.allclose(embedded @ basis_state((3, 0), (4, 2)), basis_state((3, 1), (4, 2)))
+        assert np.allclose(embedded @ basis_state((2, 0), (4, 2)), basis_state((2, 0), (4, 2)))
+        assert np.allclose(embedded @ basis_state((1, 0), (4, 2)), basis_state((1, 0), (4, 2)))
+
+    def test_embedding_preserves_unitarity(self):
+        rng = np.random.default_rng(5)
+        from repro.qudit.random import haar_random_unitary
+
+        gate = haar_random_unitary(4, rng)
+        embedded = embed_qubit_unitary(gate, [(0, 1), (1, 0)], (4, 2))
+        assert np.allclose(embedded @ embedded.conj().T, np.eye(8), atol=1e-10)
+
+    def test_full_ququart_cx_logical_equivalence(self):
+        cx = gate_unitary("CX")
+        embedded = embed_qubit_unitary(cx, [(0, 0), (1, 1)], (4, 4))
+        # Control = slot 0 of device A (high bit), target = slot 1 of device B.
+        state = basis_state((2, 0), (4, 4))
+        assert np.allclose(embedded @ state, basis_state((2, 1), (4, 4)))
+        state = basis_state((1, 0), (4, 4))
+        assert np.allclose(embedded @ state, basis_state((1, 0), (4, 4)))
+
+    def test_invalid_slot_rejected(self):
+        with pytest.raises(ValueError):
+            embed_qubit_unitary(gate_unitary("X"), [(0, 1)], (2,))
+        with pytest.raises(ValueError):
+            embed_qubit_unitary(gate_unitary("CX"), [(0, 0), (0, 0)], (4,))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            embed_qubit_unitary(gate_unitary("CX"), [(0, 0)], (4,))
+
+    def test_internal_unitary_validates_shape(self):
+        with pytest.raises(ValueError):
+            internal_unitary(np.eye(2))
+        assert np.allclose(internal_unitary(gate_unitary("SWAP")), gate_unitary("SWAP"))
+
+
+class TestEncodingPermutation:
+    def test_enc_moves_bare_qubit_into_slot0(self):
+        enc = encoding_permutation(qubit_first=True)  # dims (2, 4)
+        # Bare qubit |1>, ququart holding a qubit |b> in slot 1 (levels 0/1).
+        state = basis_state((1, 1), (2, 4))
+        out = enc @ state
+        # After ENC the ququart should be |2*1 + 1> = |3> and the qubit |0>.
+        assert fidelity(out, basis_state((0, 3), (2, 4))) == pytest.approx(1.0)
+
+    def test_enc_is_self_inverse(self):
+        enc = encoding_permutation(qubit_first=False)
+        assert np.allclose(enc @ enc, np.eye(8))
+
+    def test_enc_is_unitary(self):
+        enc = encoding_permutation()
+        assert np.allclose(enc @ enc.conj().T, np.eye(8))

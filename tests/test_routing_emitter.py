@@ -1,0 +1,185 @@
+"""Unit tests for the op emitter and the SWAP router."""
+
+import pytest
+
+from repro.circuits.gate import Gate
+from repro.core.emitter import CompilationError, OpEmitter
+from repro.core.encoding import Placement
+from repro.core.gateset import GateClass, GateSet
+from repro.core.mapping import interaction_weights
+from repro.core.physical import PhysicalCircuit, Slot
+from repro.core.routing import Router
+from repro.circuits.circuit import QuantumCircuit
+from repro.topology.device import Device
+
+
+def _make_emitter(num_devices=4, dims=4, placement=None, num_qubits=4):
+    placement = placement or Placement.one_per_device(num_qubits)
+    physical = PhysicalCircuit(num_devices, device_dims=dims, num_logical_qubits=num_qubits)
+    emitter = OpEmitter(GateSet(), placement, physical)
+    return emitter, physical
+
+
+class TestEmitterSingleAndTwoQubit:
+    def test_single_qubit_on_bare_device(self):
+        emitter, physical = _make_emitter()
+        op = emitter.emit_single(Gate("H", (0,)))
+        assert op.duration_ns == 35.0
+        assert op.gate_class is GateClass.SINGLE_QUBIT
+
+    def test_single_qubit_on_encoded_device(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=2)
+        assert emitter.emit_single(Gate("H", (0,))).duration_ns == 87.0
+        assert emitter.emit_single(Gate("H", (1,))).duration_ns == 66.0
+
+    def test_two_qubit_between_bare_devices(self):
+        emitter, _ = _make_emitter()
+        op = emitter.emit_two(Gate("CX", (0, 1)))
+        assert op.label == "CX2"
+        assert op.duration_ns == 251.0
+        assert op.gate_class is GateClass.QUBIT_TWO_Q
+
+    def test_internal_two_qubit(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=2)
+        op = emitter.emit_two(Gate("CX", (0, 1)))
+        assert op.gate_class is GateClass.INTERNAL
+        assert op.duration_ns == 84.0  # targets slot 1 -> CX1
+
+    def test_mixed_radix_two_qubit(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=3)
+        op = emitter.emit_two(Gate("CX", (0, 2)))
+        assert op.gate_class is GateClass.MIXED_RADIX_TWO_Q
+        assert op.duration_ns == 560.0  # ququart slot 0 controls the qubit
+
+    def test_full_ququart_two_qubit(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 0), 3: Slot(1, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=4)
+        op = emitter.emit_two(Gate("CX", (1, 2)))
+        assert op.gate_class is GateClass.FULL_QUQUART_TWO_Q
+        assert op.duration_ns == 700.0  # CX10
+
+    def test_mode_annotations(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=3)
+        op = emitter.emit_two(Gate("CX", (0, 2)))
+        assert (0, 3) in op.sets_mode
+        assert (1, 1) in op.sets_mode
+
+
+class TestEmitterDataMovement:
+    def test_routing_swap_updates_placement(self):
+        emitter, _ = _make_emitter()
+        emitter.emit_routing_swap(Slot(0, 1), Slot(1, 1))
+        assert emitter.placement.device_of(0) == 1
+        assert emitter.placement.device_of(1) == 0
+
+    def test_routing_swap_between_empty_slots_rejected(self):
+        emitter, _ = _make_emitter(num_devices=6)
+        with pytest.raises(CompilationError):
+            emitter.emit_routing_swap(Slot(4, 1), Slot(5, 1))
+
+    def test_encode_decode_round_trip(self):
+        emitter, physical = _make_emitter()
+        home = emitter.placement.slot_of(1)
+        enc = emitter.emit_encode(1, host_device=0)
+        assert enc.gate_class is GateClass.ENCODE
+        assert emitter.placement.slot_of(1) == Slot(0, 0)
+        assert emitter.placement.is_encoded(0)
+        emitter.emit_decode(1, home)
+        assert emitter.placement.slot_of(1) == home
+        assert physical.count_by_class()[GateClass.ENCODE] == 2
+
+    def test_encode_requires_free_slot(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=3)
+        with pytest.raises(CompilationError):
+            emitter.emit_encode(2, host_device=0)
+
+
+class TestEmitterThreeQubit:
+    def test_mixed_radix_ccz_label(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=3)
+        op = emitter.emit_three_qubit_native(Gate("CCZ", (0, 1, 2)))
+        assert op.label == "CCZ01q"
+        assert op.duration_ns == 264.0
+
+    def test_mixed_radix_ccx_controls_together(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=3)
+        op = emitter.emit_three_qubit_native(Gate("CCX", (0, 1, 2)))
+        assert op.label == "CCX01q"
+        assert op.duration_ns == 412.0
+
+    def test_mixed_radix_ccx_split_controls(self):
+        placement = Placement({0: Slot(1, 1), 1: Slot(0, 0), 2: Slot(0, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=3)
+        op = emitter.emit_three_qubit_native(Gate("CCX", (0, 1, 2)))
+        assert op.label == "CCXq01"
+        assert op.duration_ns == 619.0
+
+    def test_full_ququart_ccz_label(self):
+        placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 0), 3: Slot(1, 1)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=4)
+        op = emitter.emit_three_qubit_native(Gate("CCZ", (0, 1, 2)))
+        assert op.label == "CCZ01,0"
+        assert op.duration_ns == 232.0
+
+    def test_full_ququart_cswap_targets_together(self):
+        placement = Placement({0: Slot(1, 1), 1: Slot(0, 0), 2: Slot(0, 1), 3: Slot(1, 0)})
+        emitter, _ = _make_emitter(placement=placement, num_qubits=4)
+        op = emitter.emit_three_qubit_native(Gate("CSWAP", (0, 1, 2)))
+        assert op.label == "CSWAP1,01"
+        assert op.duration_ns == 432.0
+
+    def test_three_qubit_needs_two_devices(self):
+        emitter, _ = _make_emitter()
+        with pytest.raises(CompilationError):
+            emitter.emit_three_qubit_native(Gate("CCZ", (0, 1, 2)))
+
+    def test_itoffoli_emission(self):
+        emitter, _ = _make_emitter()
+        op = emitter.emit_itoffoli(Gate("ITOFFOLI", (0, 1, 2)))
+        assert op.duration_ns == 912.0
+        assert op.gate_class is GateClass.QUBIT_ITOFFOLI
+
+
+class TestRouter:
+    def _setup(self, num_qubits, num_devices, dense=False):
+        device = Device.mesh(num_devices)
+        circuit = QuantumCircuit(num_qubits)
+        placement = (
+            Placement.two_per_device(num_qubits) if dense else Placement.one_per_device(num_qubits)
+        )
+        physical = PhysicalCircuit(num_devices, device_dims=4, num_logical_qubits=num_qubits)
+        emitter = OpEmitter(GateSet(), placement, physical)
+        router = Router(device, emitter, interaction_weights(circuit), dense=dense)
+        return router, emitter, physical
+
+    def test_route_pair_far_apart(self):
+        router, emitter, physical = self._setup(9, 9)
+        assert router.qubit_distance(0, 8) == 4
+        router.route_pair(0, 8)
+        assert router.pair_executable(0, 8)
+        assert all(op.logical_name == "SWAP" for op in physical.ops)
+        assert len(physical.ops) == 3
+
+    def test_route_pair_already_adjacent_is_noop(self):
+        router, _, physical = self._setup(4, 4)
+        router.route_pair(0, 1)
+        assert len(physical.ops) == 0
+
+    def test_route_three_sparse_returns_center(self):
+        router, _, physical = self._setup(9, 9)
+        center = router.route_three_sparse((0, 4, 8))
+        others = [q for q in (0, 4, 8) if q != center]
+        assert all(router.qubit_distance(center, q) == 1 for q in others)
+
+    def test_route_three_dense(self):
+        router, emitter, physical = self._setup(6, 4, dense=True)
+        pair = router.route_three_dense((0, 2, 5))
+        assert emitter.placement.device_of(pair[0]) == emitter.placement.device_of(pair[1])
+        assert router.dense_three_executable((0, 2, 5))

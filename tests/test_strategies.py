@@ -1,0 +1,44 @@
+"""Unit tests for the strategy definitions."""
+
+import pytest
+
+from repro.core.strategies import Strategy, StrategySpec, ThreeQubitMode
+
+
+class TestStrategySpec:
+    def test_regimes(self):
+        assert Strategy.QUBIT_ONLY.is_qubit_only
+        assert Strategy.MIXED_RADIX_CCZ.is_mixed_radix
+        assert Strategy.FULL_QUQUART.is_full_ququart
+
+    def test_device_dimensions(self):
+        assert Strategy.QUBIT_ONLY.spec.device_dim == 2
+        assert Strategy.QUBIT_ITOFFOLI.spec.device_dim == 2
+        assert Strategy.MIXED_RADIX_CCZ.spec.device_dim == 4
+        assert Strategy.FULL_QUQUART.spec.device_dim == 4
+
+    def test_qubits_per_device(self):
+        assert Strategy.MIXED_RADIX_CCX.spec.qubits_per_device == 1
+        assert Strategy.FULL_QUQUART.spec.qubits_per_device == 2
+
+    def test_three_qubit_modes(self):
+        assert Strategy.QUBIT_ONLY.spec.three_qubit_mode is ThreeQubitMode.DECOMPOSE
+        assert Strategy.QUBIT_ITOFFOLI.spec.three_qubit_mode is ThreeQubitMode.ITOFFOLI
+        assert Strategy.MIXED_RADIX_H.spec.three_qubit_mode is ThreeQubitMode.NATIVE_CCX_RETARGET
+        assert Strategy.FULL_QUQUART.spec.three_qubit_mode is ThreeQubitMode.NATIVE_CCZ
+
+    def test_cswap_flags(self):
+        assert Strategy.FULL_QUQUART_CSWAP_TARGETS.spec.native_cswap
+        assert Strategy.FULL_QUQUART_CSWAP_TARGETS.spec.prefer_cswap_targets_together
+        assert not Strategy.FULL_QUQUART_CSWAP_BASIC.spec.prefer_cswap_targets_together
+        assert not Strategy.MIXED_RADIX_CCZ.spec.native_cswap
+
+    def test_figure7_strategies(self):
+        strategies = Strategy.figure7_strategies()
+        assert len(strategies) == 6
+        assert Strategy.QUBIT_ONLY in strategies
+        assert Strategy.FULL_QUQUART in strategies
+
+    def test_invalid_regime_rejected(self):
+        with pytest.raises(ValueError):
+            StrategySpec(regime="banana", three_qubit_mode=ThreeQubitMode.DECOMPOSE)

@@ -1,0 +1,99 @@
+"""Unit tests for topologies and the device / coherence models."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.topology.device import CoherenceModel, Device
+from repro.topology.mesh import grid_dimensions, heavy_hex_topology, linear_topology, mesh_topology
+
+
+class TestMesh:
+    def test_grid_dimensions_match_paper_formula(self):
+        for n in (4, 5, 9, 12, 21):
+            rows, cols = grid_dimensions(n)
+            assert rows == math.ceil(math.sqrt(n))
+            assert rows * cols >= n
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 9, 16, 21])
+    def test_mesh_is_connected_with_exact_node_count(self, n):
+        graph = mesh_topology(n)
+        assert graph.number_of_nodes() == n
+        assert nx.is_connected(graph)
+
+    def test_mesh_has_no_triangles(self):
+        graph = mesh_topology(9)
+        assert sum(nx.triangles(graph).values()) == 0
+
+    def test_mesh_degree_bounded_by_four(self):
+        graph = mesh_topology(20)
+        assert max(dict(graph.degree).values()) <= 4
+
+    def test_linear_topology(self):
+        graph = linear_topology(5)
+        assert graph.number_of_edges() == 4
+        assert nx.is_connected(graph)
+        with pytest.raises(ValueError):
+            linear_topology(0)
+
+    def test_heavy_hex_is_sparser_than_mesh(self):
+        heavy = heavy_hex_topology(2)
+        n = heavy.number_of_nodes()
+        mesh = mesh_topology(n)
+        heavy_density = heavy.number_of_edges() / n
+        mesh_density = mesh.number_of_edges() / n
+        assert nx.is_connected(heavy)
+        assert heavy_density < mesh_density
+
+
+class TestCoherenceModel:
+    def test_default_t1_matches_paper(self):
+        model = CoherenceModel()
+        assert model.base_t1_ns == pytest.approx(163450.0)
+        # |2> and |3> T1 follow the 1/k scaling quoted in Section 6.2.
+        assert model.t1_of_level(2) == pytest.approx(81725.0)
+        assert model.t1_of_level(3) == pytest.approx(163450.0 / 3.0)
+
+    def test_ground_state_does_not_decay(self):
+        model = CoherenceModel()
+        assert model.decay_rate(0) == 0.0
+        assert model.survival_probability(0, 1e9) == 1.0
+
+    def test_excited_scale_only_affects_higher_levels(self):
+        model = CoherenceModel(excited_scale=4.0)
+        base = CoherenceModel()
+        assert model.decay_rate(1) == pytest.approx(base.decay_rate(1))
+        assert model.decay_rate(2) == pytest.approx(4.0 * base.decay_rate(2))
+
+    def test_survival_probability_decreases_with_time(self):
+        model = CoherenceModel()
+        assert model.survival_probability(1, 1000.0) > model.survival_probability(1, 100000.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CoherenceModel(base_t1_ns=0.0)
+        with pytest.raises(ValueError):
+            CoherenceModel(excited_scale=0.0)
+        with pytest.raises(ValueError):
+            CoherenceModel().decay_rate(-1)
+
+
+class TestDevice:
+    def test_mesh_constructor(self):
+        device = Device.mesh(9)
+        assert device.num_devices == 9
+        assert device.are_coupled(0, 1)
+        assert not device.are_coupled(0, 8)
+
+    def test_distance_and_neighbors(self):
+        device = Device.mesh(9)
+        assert device.distance(0, 8) == 4
+        assert device.neighbors(4) == [1, 3, 5, 7]
+
+    def test_distance_matrix_consistency(self):
+        device = Device.mesh(6)
+        matrix = device.distance_matrix()
+        for a in range(6):
+            for b in range(6):
+                assert matrix[a][b] == device.distance(a, b)

@@ -1,0 +1,164 @@
+"""Unit tests for the benchmark workloads (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.qudit.states import basis_state, fidelity
+from repro.workloads import (
+    cuccaro_adder,
+    generalized_toffoli,
+    qram_circuit,
+    select_circuit,
+    synthetic_cx_ccx_circuit,
+    workload_by_name,
+)
+
+
+class TestGeneralizedToffoli:
+    @pytest.mark.parametrize("n", [3, 4, 5, 7, 9])
+    def test_builds_for_various_sizes(self, n):
+        circuit = generalized_toffoli(n)
+        assert circuit.num_qubits == n
+        ops = circuit.count_ops()
+        assert set(ops) <= {"CCX", "CX"}
+
+    def test_semantics_all_controls_one_flips_target(self):
+        circuit = generalized_toffoli(7)
+        num_controls = (7 + 1) // 2
+        levels = [0] * 7
+        for control in range(num_controls):
+            levels[control] = 1
+        state = circuit.apply_to_state(basis_state(levels, (2,) * 7))
+        expected = list(levels)
+        expected[-1] = 1
+        assert fidelity(state, basis_state(expected, (2,) * 7)) == pytest.approx(1.0)
+
+    def test_semantics_one_control_zero_keeps_target(self):
+        circuit = generalized_toffoli(7)
+        num_controls = (7 + 1) // 2
+        levels = [1] * num_controls + [0] * (7 - num_controls)
+        levels[0] = 0
+        state = circuit.apply_to_state(basis_state(levels, (2,) * 7))
+        assert fidelity(state, basis_state(levels, (2,) * 7)) == pytest.approx(1.0)
+
+    def test_ancillas_are_restored(self):
+        circuit = generalized_toffoli(9)
+        num_controls = (9 + 1) // 2
+        levels = [1] * num_controls + [0] * (9 - num_controls)
+        state = circuit.apply_to_state(basis_state(levels, (2,) * 9))
+        expected = list(levels)
+        expected[-1] = 1
+        assert fidelity(state, basis_state(expected, (2,) * 9)) == pytest.approx(1.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generalized_toffoli(2)
+
+
+class TestCuccaroAdder:
+    def _add(self, a_value: int, b_value: int, bits: int) -> tuple[int, int]:
+        """Simulate the adder on computational basis inputs."""
+        num_qubits = 2 * bits + 2
+        circuit = cuccaro_adder(num_qubits)
+        levels = [0] * num_qubits
+        for i in range(bits):
+            levels[1 + 2 * i] = (b_value >> i) & 1
+            levels[2 + 2 * i] = (a_value >> i) & 1
+        state = circuit.apply_to_state(basis_state(levels, (2,) * num_qubits))
+        index = int(np.argmax(np.abs(state)))
+        out_levels = [(index >> (num_qubits - 1 - q)) & 1 for q in range(num_qubits)]
+        b_out = sum(out_levels[1 + 2 * i] << i for i in range(bits))
+        carry = out_levels[2 * bits + 1]
+        return b_out, carry
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (2, 3), (3, 3)])
+    def test_two_bit_addition(self, a, b):
+        b_out, carry = self._add(a, b, bits=2)
+        assert b_out + (carry << 2) == a + b
+
+    def test_structure(self):
+        circuit = cuccaro_adder(10)
+        ops = circuit.count_ops()
+        assert ops["CCX"] == 8  # 2 per MAJ/UMA pair for 4 bits
+        assert circuit.num_three_qubit_gates() == 8
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(3)
+
+
+class TestQram:
+    def test_structure_is_cswap_dominated(self):
+        circuit = qram_circuit(9)
+        ops = circuit.count_ops()
+        assert ops["CSWAP"] >= 2 * ops.get("H", 0)
+        assert circuit.num_three_qubit_gates() == ops["CSWAP"]
+
+    def test_round_trip_restores_bus(self):
+        # With the address in a basis state, routing out and back must return
+        # the bus to its original |1> and leave the cells unchanged.
+        circuit = qram_circuit(6)
+        state = circuit.statevector()
+        # The bus qubit is index num_address = 1; check its marginal is |1>.
+        probs = np.abs(state) ** 2
+        bus_one = sum(
+            p for index, p in enumerate(probs) if (index >> (6 - 1 - 1)) & 1
+        )
+        assert bus_one == pytest.approx(1.0)
+
+    def test_rounds_parameter(self):
+        assert len(qram_circuit(6, rounds=2)) > len(qram_circuit(6, rounds=1))
+        with pytest.raises(ValueError):
+            qram_circuit(6, rounds=0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            qram_circuit(2)
+
+
+class TestSelect:
+    def test_structure(self):
+        circuit = select_circuit(9)
+        ops = circuit.count_ops()
+        assert ops["CCX"] > 0
+        assert ops.get("CX", 0) + ops.get("CZ", 0) > 0
+
+    def test_deterministic_for_fixed_seed(self):
+        assert select_circuit(9, seed=5) == select_circuit(9, seed=5)
+        assert select_circuit(9, seed=5) != select_circuit(9, seed=6)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            select_circuit(4)
+
+
+class TestSynthetic:
+    def test_cx_fraction_extremes(self):
+        pure_cx = synthetic_cx_ccx_circuit(6, num_gates=20, cx_fraction=1.0)
+        pure_ccx = synthetic_cx_ccx_circuit(6, num_gates=20, cx_fraction=0.0)
+        assert pure_cx.count_ops() == {"CX": 20}
+        assert pure_ccx.count_ops() == {"CCX": 20}
+
+    def test_mixed_fraction(self):
+        circuit = synthetic_cx_ccx_circuit(8, num_gates=200, cx_fraction=0.6, seed=3)
+        ops = circuit.count_ops()
+        assert 0.45 < ops["CX"] / 200 < 0.75
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            synthetic_cx_ccx_circuit(2)
+        with pytest.raises(ValueError):
+            synthetic_cx_ccx_circuit(5, cx_fraction=1.5)
+        with pytest.raises(ValueError):
+            synthetic_cx_ccx_circuit(5, num_gates=0)
+
+
+class TestWorkloadRegistry:
+    @pytest.mark.parametrize("name", ["cnu", "cuccaro", "qram", "select", "synthetic"])
+    def test_lookup(self, name):
+        circuit = workload_by_name(name, 8)
+        assert circuit.num_qubits == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            workload_by_name("unknown", 8)

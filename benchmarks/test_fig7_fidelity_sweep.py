@@ -16,9 +16,15 @@ import numpy as np
 
 from repro.core.strategies import Strategy
 from repro.experiments.fidelity_sweep import run_fidelity_sweep, summarize_improvements
+from repro.experiments.sweep import SweepRunner
 
 
-def test_fig7_fidelity_sweep(once, benchmark):
+def test_fig7_fidelity_sweep(once, benchmark, tmp_path):
+    runner = SweepRunner(
+        max_workers=1,
+        csv_path=tmp_path / "fig7_fidelity_sweep.csv",
+        json_path=tmp_path / "fig7_fidelity_sweep.json",
+    )
     evaluations = once(
         benchmark,
         run_fidelity_sweep,
@@ -26,7 +32,10 @@ def test_fig7_fidelity_sweep(once, benchmark):
         sizes=(5, 7, 9),
         num_trajectories=15,
         rng=0,
+        runner=runner,
     )
+    assert (tmp_path / "fig7_fidelity_sweep.csv").exists()
+    assert (tmp_path / "fig7_fidelity_sweep.json").exists()
     print()
     print(f"{'circuit':12s} {'n':>3s} {'strategy':22s} {'fidelity':>9s} {'±':>6s} {'total EPS':>10s}")
     for evaluation in evaluations:

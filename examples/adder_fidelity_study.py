@@ -1,10 +1,12 @@
 """Domain example: compiling the Cuccaro ripple-carry adder.
 
 The Cuccaro adder is the paper's depth-dominated arithmetic workload.  This
-example sweeps adder sizes, compiles each with the qubit-only baseline, the
-mixed-radix CCZ strategy and the full-ququart strategy, and reports how the
-expected probability of success (EPS) and the simulated fidelity scale —
-the per-workload slice of Figure 7.
+example builds the (size x strategy) grid as declarative sweep points, runs
+it through the parallel :class:`~repro.experiments.sweep.SweepRunner` (the
+canonical way to add new scenario sweeps — batched trajectory simulation,
+memoized compilations, CSV artifact output), and reports how the expected
+probability of success (EPS) and the simulated fidelity scale — the
+per-workload slice of Figure 7.
 
 Run with::
 
@@ -13,26 +15,48 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 from repro import Strategy
-from repro.experiments import evaluate_strategy
-from repro.workloads import cuccaro_adder
+from repro.experiments.sweep import SweepPoint, SweepRunner, point_seeds, sweep_rows
 
 SIZES = (4, 6, 8)
 STRATEGIES = (Strategy.QUBIT_ONLY, Strategy.QUBIT_ITOFFOLI, Strategy.MIXED_RADIX_CCZ, Strategy.FULL_QUQUART)
 
 
+def build_points() -> list[SweepPoint]:
+    grid = [(size, strategy) for size in SIZES for strategy in STRATEGIES]
+    seeds = point_seeds(1, len(grid))
+    return [
+        SweepPoint(
+            workload="cuccaro",
+            size=size,
+            strategy=strategy.name,
+            num_trajectories=25,
+            seed=seed,
+        )
+        for seed, (size, strategy) in zip(seeds, grid)
+    ]
+
+
 def main() -> None:
+    csv_path = Path(tempfile.gettempdir()) / "adder_fidelity_study.csv"
+    runner = SweepRunner(max_workers=1, csv_path=csv_path)
+    points = build_points()
+    evaluations = runner.run(points)
+
     print(f"{'qubits':>6s} {'strategy':26s} {'ops':>5s} {'dur (ns)':>9s} {'gate EPS':>9s} {'coh EPS':>8s} {'fidelity':>9s}")
-    for size in SIZES:
-        circuit = cuccaro_adder(size)
-        for strategy in STRATEGIES:
-            evaluation = evaluate_strategy(circuit, strategy, num_trajectories=25, rng=1)
-            row = evaluation.as_row()
-            print(
-                f"{size:6d} {strategy.name:26s} {row['num_ops']:5d} {row['duration_ns']:9.0f} "
-                f"{row['gate_eps']:9.3f} {row['coherence_eps']:8.3f} {row['fidelity']:9.3f}"
-            )
-        print()
+    last_size = None
+    for row in sweep_rows(points, evaluations):
+        if last_size is not None and row["size"] != last_size:
+            print()
+        last_size = row["size"]
+        print(
+            f"{row['size']:6d} {row['strategy']:26s} {row['num_ops']:5d} {row['duration_ns']:9.0f} "
+            f"{row['gate_eps']:9.3f} {row['coherence_eps']:8.3f} {row['fidelity']:9.3f}"
+        )
+    print(f"\nCSV artifact written to {csv_path}")
 
 
 if __name__ == "__main__":

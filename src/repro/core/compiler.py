@@ -316,7 +316,7 @@ class QuantumWaltzCompiler:
         self._execute_full_native(gate, strategy, emitter, router)
 
     def _execute_full_native(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
-        router.route_three_dense(gate.qubits)
+        router.route_three_dense(gate.qubits, gate=gate)
         emitter.emit_three_qubit_native(gate)
 
 
@@ -332,15 +332,21 @@ def _boost_same_type_pairs(
     ququart so the fastest Table 2 configuration can be used without extra
     data movement.  This is realised at mapping time by boosting the
     interaction weight of those same-type pairs.
+
+    Each distinct pair is boosted exactly once relative to its base weight.
+    Boosting per gate occurrence would compound the factor — a pair shared
+    by ``k`` three-qubit gates would blow up as ``O(factor**k)`` and swamp
+    the router's disruption tie-break, even though the pair's recurrence is
+    already captured by the base interaction weights.
     """
-    boosted = dict(weights)
+    pairs: set[tuple[int, int]] = set()
     for gate in circuit.gates:
         if gate.name == "CSWAP":
-            pair = tuple(sorted(gate.qubits[1:]))
+            pairs.add(tuple(sorted(gate.qubits[1:])))
         elif gate.name in {"CCX", "CCZ"}:
-            pair = tuple(sorted(gate.qubits[:2]))
-        else:
-            continue
+            pairs.add(tuple(sorted(gate.qubits[:2])))
+    boosted = dict(weights)
+    for pair in sorted(pairs):
         boosted[pair] = boosted.get(pair, 0.0) * factor + 1.0
     return boosted
 

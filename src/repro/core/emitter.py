@@ -141,6 +141,32 @@ class OpEmitter:
         return self._append(op)
 
     # -- data movement ----------------------------------------------------------------
+    def routing_swap_pulse(self, slot_a: Slot, slot_b: Slot) -> tuple[float, GateClass, str]:
+        """Return (duration, class, label) of the SWAP a routing move would emit.
+
+        Shared between :meth:`emit_routing_swap` and the router's cost model
+        (duration-aware tie-breaks and slot-orientation decisions), so the
+        router can never optimize against a different pulse than the one
+        that would actually be emitted.
+        """
+        if slot_a.device == slot_b.device:
+            duration, gate_class = self.gate_set.internal_two_qubit("SWAP")
+            return duration, gate_class, "SWAP-in"
+        high_a = self.device_uses_higher_levels(slot_a.device)
+        high_b = self.device_uses_higher_levels(slot_b.device)
+        if not high_a and not high_b:
+            duration, gate_class = self.gate_set.qubit_two_qubit("SWAP")
+            return duration, gate_class, "SWAP2"
+        if high_a != high_b:
+            ququart_slot = slot_a.slot if high_a else slot_b.slot
+            duration, gate_class = self.gate_set.mixed_radix_two_qubit("SWAP", ququart_slot, True)
+            return duration, gate_class, f"SWAPq{ququart_slot}"
+        duration, gate_class = self.gate_set.full_ququart_two_qubit(
+            "SWAP", slot_a.slot, slot_b.slot
+        )
+        low, high = min(slot_a.slot, slot_b.slot), max(slot_a.slot, slot_b.slot)
+        return duration, gate_class, f"SWAP{low}{high}"
+
     def emit_routing_swap(self, slot_a: Slot, slot_b: Slot) -> PhysicalOp:
         """Emit a SWAP that moves data between two slots and update the placement."""
         qubit_a = self.placement.qubit_at(slot_a)
@@ -148,28 +174,11 @@ class OpEmitter:
         if qubit_a is None and qubit_b is None:
             raise CompilationError("refusing to emit a SWAP between two empty slots")
 
+        duration, gate_class, label = self.routing_swap_pulse(slot_a, slot_b)
         if slot_a.device == slot_b.device:
-            duration, gate_class = self.gate_set.internal_two_qubit("SWAP")
-            label = "SWAP-in"
             devices: tuple[int, ...] = (slot_a.device,)
             operand_slots = ((0, slot_a.slot), (0, slot_b.slot))
         else:
-            high_a = self.device_uses_higher_levels(slot_a.device)
-            high_b = self.device_uses_higher_levels(slot_b.device)
-            if not high_a and not high_b:
-                duration, gate_class = self.gate_set.qubit_two_qubit("SWAP")
-                label = "SWAP2"
-            elif high_a != high_b:
-                ququart_slot = slot_a.slot if high_a else slot_b.slot
-                duration, gate_class = self.gate_set.mixed_radix_two_qubit(
-                    "SWAP", ququart_slot, True
-                )
-                label = f"SWAPq{ququart_slot}"
-            else:
-                duration, gate_class = self.gate_set.full_ququart_two_qubit(
-                    "SWAP", slot_a.slot, slot_b.slot
-                )
-                label = f"SWAP{min(slot_a.slot, slot_b.slot)}{max(slot_a.slot, slot_b.slot)}"
             devices = (slot_a.device, slot_b.device)
             operand_slots = ((0, slot_a.slot), (1, slot_b.slot))
 
@@ -228,7 +237,7 @@ class OpEmitter:
         self.placement.move(moving_qubit, destination)
         op = PhysicalOp(
             label="ENC_dg",
-            logical_name="ENC",
+            logical_name="ENC_dg",
             devices=(source.device, destination.device),
             operand_slots=((0, 0), (1, destination.slot)),
             duration_ns=duration,
@@ -240,6 +249,33 @@ class OpEmitter:
         return self._append(op)
 
     # -- native three-qubit gates -------------------------------------------------------
+    def native_three_qubit_duration(self, gate: Gate, slots: Sequence[Slot]) -> float | None:
+        """Duration of the native 3q pulse for a (possibly hypothetical) layout.
+
+        ``slots`` are the operand slots in gate order; they may describe a
+        layout that differs from the current placement (the router's
+        orientation pass evaluates candidate intra-ququart SWAPs this way).
+        Returns ``None`` when no Table 2 pulse exists for the layout.
+        """
+        devices = sorted({slot.device for slot in slots})
+        if len(devices) != 2:
+            return None
+        counts = {d: sum(1 for s in slots if s.device == d) for d in devices}
+        pair_device = max(counts, key=lambda d: counts[d])
+        lone_device = next(d for d in devices if d != pair_device)
+        lone_is_bare = not self.device_uses_higher_levels(lone_device) and (
+            self.placement.occupancy(lone_device) <= 1
+        )
+        try:
+            label, regime = self._three_qubit_label(
+                gate, list(slots), pair_device, lone_device, lone_is_bare
+            )
+            if regime == "mixed":
+                return self.gate_set.mixed_radix_three_qubit(label)[0]
+            return self.gate_set.full_ququart_three_qubit(label)[0]
+        except (CompilationError, ValueError, KeyError):
+            return None
+
     def emit_three_qubit_native(self, gate: Gate) -> PhysicalOp:
         """Emit a native three-qubit gate on two devices.
 

@@ -109,8 +109,14 @@ class PhysicalOp:
         return len(self.devices)
 
     def logical_unitary(self) -> np.ndarray:
-        """Return the logical qubit unitary this op implements."""
-        if self.logical_name.upper() == "ENC":
+        """Return the logical qubit unitary this op implements.
+
+        ENC and its inverse ENC† are distinct ops for accounting purposes
+        (``logical_name`` keeps them apart), but both are implemented as a
+        SWAP between the bare qubit and the host ququart's free slot, and a
+        SWAP is its own inverse.
+        """
+        if self.logical_name.upper() in ("ENC", "ENC_DG"):
             return gate_unitary("SWAP")
         return gate_unitary(self.logical_name, self.params)
 
@@ -162,6 +168,15 @@ class PhysicalCircuit:
         self.num_logical_qubits = num_logical_qubits
         self.name = name
         self._ops: list[PhysicalOp] = []
+        #: Embedded unitaries memoized per distinct op; identical ops (same
+        #: label, devices, slots and params) share one entry, so a unitary is
+        #: built once per compilation instead of once per op per trajectory.
+        self._unitary_cache: dict[PhysicalOp, np.ndarray] = {}
+        #: Memoized ASAP schedule; invalidated whenever an op is appended.
+        self._schedule_cache: list[ScheduledGate[PhysicalOp]] | None = None
+        #: Bumped on every append; lets external caches (compiled trajectory
+        #: programs) detect that the op stream changed.
+        self.version = 0
         #: Maximum energy level of each device at time zero, keyed by device
         #: index (devices not listed start at level 0, i.e. empty).
         self.initial_modes: dict[int, int] = {}
@@ -184,6 +199,8 @@ class PhysicalCircuit:
                     f"op {op.label} addresses slot {slot} of a 2-level device"
                 )
         self._ops.append(op)
+        self._schedule_cache = None
+        self.version += 1
         return self
 
     def extend(self, ops: Iterable[PhysicalOp]) -> "PhysicalCircuit":
@@ -207,8 +224,18 @@ class PhysicalCircuit:
         return tuple(self.device_dims[d] for d in op.devices)
 
     def op_unitary(self, op: PhysicalOp) -> np.ndarray:
-        """Return the embedded unitary of an op on its devices."""
-        return op.embedded_unitary(self.dims_of_op(op))
+        """Return the embedded unitary of an op on its devices.
+
+        Results are cached per distinct op (ops are frozen and hashable); the
+        returned array is marked read-only because it is shared between
+        callers and trajectories.
+        """
+        cached = self._unitary_cache.get(op)
+        if cached is None:
+            cached = op.embedded_unitary(self.dims_of_op(op))
+            cached.flags.writeable = False
+            self._unitary_cache[op] = cached
+        return cached
 
     def count_by_class(self) -> Counter:
         """Return a Counter of ops per :class:`GateClass`."""
@@ -223,12 +250,18 @@ class PhysicalCircuit:
         return sum(1 for op in self._ops if op.num_devices >= 2)
 
     def schedule(self) -> list[ScheduledGate[PhysicalOp]]:
-        """Return the ASAP schedule of the ops (one device does one op at a time)."""
-        return schedule_asap(
-            self._ops,
-            operands=lambda op: op.devices,
-            duration=lambda op: op.duration_ns,
-        )
+        """Return the ASAP schedule of the ops (one device does one op at a time).
+
+        The schedule is memoized until the next :meth:`append`; callers get a
+        fresh list but must not mutate the (frozen) entries.
+        """
+        if self._schedule_cache is None:
+            self._schedule_cache = schedule_asap(
+                self._ops,
+                operands=lambda op: op.devices,
+                duration=lambda op: op.duration_ns,
+            )
+        return list(self._schedule_cache)
 
     def total_duration_ns(self) -> float:
         """Return the makespan of the ASAP schedule."""

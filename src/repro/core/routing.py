@@ -104,19 +104,39 @@ class Router:
 
     # -- candidate moves -----------------------------------------------------------------
     def _candidate_swaps(self, qubits: Sequence[int]) -> list[tuple[Slot, Slot]]:
-        """Enumerate SWAPs of an operand slot with a slot on an adjacent device."""
+        """Enumerate SWAPs of an operand slot with a neighbouring slot.
+
+        Candidates are slots on adjacent devices and, in dense mode, the
+        partner slot of the operand's own ququart (an internal SWAP-in pulse
+        — an order of magnitude shorter than any inter-device SWAP).  The
+        intra-ququart candidates never change device distances, but they
+        reorient which encoded slot holds each operand, which decides the
+        Table 2 configuration (and duration) of the pending three-qubit
+        pulse; :meth:`route_three_dense` selects them when the reorientation
+        pays for the extra pulse.
+        """
         candidates: list[tuple[Slot, Slot]] = []
         seen: set[tuple[Slot, Slot]] = set()
+
+        def add(slot: Slot, target: Slot) -> None:
+            key = (min(slot, target), max(slot, target))
+            if key not in seen:
+                seen.add(key)
+                candidates.append((slot, target))
+
         for qubit in qubits:
             slot = self.placement.slot_of(qubit)
+            if self.dense:
+                add(slot, Slot(slot.device, 1 - slot.slot))
             for neighbor in self.device.neighbors(slot.device):
                 slots = (Slot(neighbor, 0), Slot(neighbor, 1)) if self.dense else (Slot(neighbor, 1),)
                 for target in slots:
-                    key = (min(slot, target), max(slot, target))
-                    if key not in seen:
-                        seen.add(key)
-                        candidates.append((slot, target))
+                    add(slot, target)
         return candidates
+
+    def _swap_duration(self, slot_a: Slot, slot_b: Slot) -> float:
+        """Return the duration of the SWAP pulse a candidate move would emit."""
+        return self.emitter.routing_swap_pulse(slot_a, slot_b)[0]
 
     def _disruption(self, slot_a: Slot, slot_b: Slot) -> float:
         """Return the adaptive-weight disruption of swapping two slots."""
@@ -168,11 +188,22 @@ class Router:
         scored = []
         for slot_a, slot_b in candidates:
             new_cost = self._cost_after(qubits, slot_a, slot_b)
-            scored.append((new_cost, self._disruption(slot_a, slot_b), slot_a, slot_b))
+            scored.append(
+                (
+                    new_cost,
+                    self._disruption(slot_a, slot_b),
+                    self._swap_duration(slot_a, slot_b),
+                    slot_a,
+                    slot_b,
+                )
+            )
         improving = [item for item in scored if item[0] < current]
         if improving:
-            improving.sort(key=lambda item: (item[0], item[1], item[2], item[3]))
-            _, _, slot_a, slot_b = improving[0]
+            # Distance first, then the paper's disruption tie-break, then the
+            # physical duration of the SWAP pulse itself (e.g. prefer SWAP01
+            # over SWAP11 when both reach the same placement quality).
+            improving.sort(key=lambda item: (item[0], item[1], item[2], item[3], item[4]))
+            _, _, _, slot_a, slot_b = improving[0]
         else:
             # No single SWAP reduces the total operand distance (rare corner
             # of the greedy heuristic).  Force progress by moving one operand
@@ -227,10 +258,15 @@ class Router:
         assert center is not None
         return center
 
-    def route_three_dense(self, qubits: Sequence[int]) -> tuple[int, int]:
+    def route_three_dense(self, qubits: Sequence[int], gate=None) -> tuple[int, int]:
         """Route three operands onto two adjacent ququarts.
 
-        Returns the co-located operand pair.
+        Returns the co-located operand pair.  When ``gate`` is given, the
+        slot orientation is optimised afterwards: if an intra-ququart SWAP-in
+        (one of the :meth:`_candidate_swaps` partner-slot moves) buys a
+        Table 2 configuration whose duration saving exceeds the SWAP-in
+        pulse itself, the cheap internal SWAP is emitted instead of settling
+        for the slower three-qubit pulse.
         """
         steps = 0
         while not self.dense_three_executable(qubits):
@@ -240,6 +276,40 @@ class Router:
                 raise CompilationError(
                     f"routing of operands {tuple(qubits)} did not converge in {steps} steps"
                 )
+        if gate is not None:
+            self._orient_dense_three(gate)
         pair = self.co_located_pair(qubits)
         assert pair is not None
         return pair
+
+    # -- dense slot orientation ---------------------------------------------------------
+    def _orient_dense_three(self, gate) -> None:
+        """Emit an internal SWAP when it buys a strictly cheaper 3q pulse."""
+        while True:
+            slots = [self.placement.slot_of(q) for q in gate.qubits]
+            current = self.emitter.native_three_qubit_duration(gate, slots)
+            if current is None:
+                return
+            best_gain = 0.0
+            best_candidate: tuple[Slot, Slot] | None = None
+            for slot_a, slot_b in self._candidate_swaps(gate.qubits):
+                if slot_a.device != slot_b.device:
+                    continue  # orientation only considers intra-ququart moves
+                if self.placement.occupancy(slot_a.device) != 2:
+                    # Flipping a half-empty device would change which energy
+                    # levels hold data (its mode), not just the orientation.
+                    continue
+                flipped = [
+                    Slot(s.device, 1 - s.slot) if s.device == slot_a.device else s
+                    for s in slots
+                ]
+                alternative = self.emitter.native_three_qubit_duration(gate, flipped)
+                if alternative is None:
+                    continue
+                gain = current - alternative - self._swap_duration(slot_a, slot_b)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_candidate = (slot_a, slot_b)
+            if best_candidate is None:
+                return
+            self.emitter.emit_routing_swap(*best_candidate)

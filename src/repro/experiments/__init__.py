@@ -20,6 +20,7 @@ trade-off the paper makes against its 86 GB simulation ceiling).
 """
 
 from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
+from repro.experiments.sweep import SweepPoint, SweepRunner, evaluate_point
 from repro.experiments.tables import format_table1, format_table2
 from repro.experiments.rb import RandomizedBenchmarkingResult, run_interleaved_rb
 from repro.experiments.fidelity_sweep import run_fidelity_sweep, summarize_improvements

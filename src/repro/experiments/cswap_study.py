@@ -7,8 +7,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.strategies import Strategy
-from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
-from repro.workloads import qram_circuit
+from repro.experiments.runner import StrategyEvaluation
+from repro.experiments.sweep import SweepPoint, SweepRunner, point_seeds
 
 __all__ = ["run_cswap_study", "CSWAP_STUDY_STRATEGIES"]
 
@@ -29,16 +29,20 @@ def run_cswap_study(
     strategies: Sequence[Strategy] = CSWAP_STUDY_STRATEGIES,
     num_trajectories: int = 30,
     rng: np.random.Generator | int | None = 0,
+    runner: SweepRunner | None = None,
 ) -> list[StrategyEvaluation]:
     """Compare CSWAP-aware strategies against CCZ decomposition on QRAM."""
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    evaluations = []
-    for size in sizes:
-        circuit = qram_circuit(size)
-        for strategy in strategies:
-            evaluations.append(
-                evaluate_strategy(
-                    circuit, strategy, num_trajectories=num_trajectories, rng=generator
-                )
-            )
-    return evaluations
+    grid = [(size, strategy) for size in sizes for strategy in strategies]
+    seeds = point_seeds(rng, len(grid))
+    points = [
+        SweepPoint(
+            workload="qram",
+            size=size,
+            strategy=strategy.name,
+            num_trajectories=num_trajectories,
+            seed=seed,
+        )
+        for seed, (size, strategy) in zip(seeds, grid)
+    ]
+    runner = runner or SweepRunner(max_workers=1)
+    return runner.run(points)

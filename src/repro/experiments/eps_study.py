@@ -5,8 +5,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.strategies import Strategy
-from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
-from repro.workloads import generalized_toffoli
+from repro.experiments.runner import StrategyEvaluation
+from repro.experiments.sweep import SweepPoint, SweepRunner
 
 __all__ = ["run_eps_study"]
 
@@ -14,6 +14,7 @@ __all__ = ["run_eps_study"]
 def run_eps_study(
     sizes: Sequence[int] = (5, 9, 13, 17, 21),
     strategies: Sequence[Strategy] | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[StrategyEvaluation]:
     """Return EPS estimates for the generalized-Toffoli circuit.
 
@@ -22,9 +23,10 @@ def run_eps_study(
     coherence and product EPS exactly as Figure 8 plots them.
     """
     strategies = list(strategies) if strategies is not None else Strategy.figure7_strategies()
-    evaluations = []
-    for size in sizes:
-        circuit = generalized_toffoli(size)
-        for strategy in strategies:
-            evaluations.append(evaluate_strategy(circuit, strategy, num_trajectories=0))
-    return evaluations
+    points = [
+        SweepPoint(workload="cnu", size=size, strategy=strategy.name)
+        for size in sizes
+        for strategy in strategies
+    ]
+    runner = runner or SweepRunner(max_workers=1)
+    return runner.run(points)

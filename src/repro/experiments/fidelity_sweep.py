@@ -8,13 +8,55 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.strategies import Strategy
-from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
-from repro.workloads import workload_by_name
+from repro.experiments.runner import StrategyEvaluation
+from repro.experiments.sweep import SweepPoint, SweepRunner, point_seeds
 
-__all__ = ["run_fidelity_sweep", "summarize_improvements", "DEFAULT_WORKLOADS"]
+__all__ = ["run_fidelity_sweep", "summarize_improvements", "DEFAULT_WORKLOADS", "fidelity_sweep_points"]
 
 #: The four parameterised circuits plotted in Figure 7a-d.
 DEFAULT_WORKLOADS: tuple[str, ...] = ("qram", "cnu", "cuccaro", "select")
+
+
+def fidelity_sweep_points(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    sizes: Sequence[int] = (5, 7, 9),
+    strategies: Sequence[Strategy] | None = None,
+    num_trajectories: int = 30,
+    simulate_mixed_radix_up_to: int = 12,
+    rng: np.random.Generator | int | None = 0,
+    batch_size: int | str | None = "auto",
+) -> list[SweepPoint]:
+    """Build the Figure 7 grid as declarative sweep points.
+
+    ``simulate_mixed_radix_up_to`` mirrors the paper's memory ceiling: above
+    that qubit count the mixed-radix strategies fall back to the EPS
+    estimate instead of trajectory simulation (their error bars are missing
+    in the paper for the same reason).
+    """
+    strategies = list(strategies) if strategies is not None else Strategy.figure7_strategies()
+    grid = [
+        (workload, size, strategy)
+        for workload in workloads
+        for size in sizes
+        for strategy in strategies
+    ]
+    seeds = point_seeds(rng, len(grid))
+    points = []
+    for seed, (workload, size, strategy) in zip(seeds, grid):
+        trajectories = num_trajectories
+        if strategy.regime == "mixed" and size > simulate_mixed_radix_up_to:
+            trajectories = 0
+        points.append(
+            SweepPoint(
+                workload=workload,
+                size=size,
+                strategy=strategy.name,
+                num_trajectories=trajectories,
+                seed=seed,
+                batch_size=batch_size,
+            )
+        )
+    return points
 
 
 def run_fidelity_sweep(
@@ -24,33 +66,21 @@ def run_fidelity_sweep(
     num_trajectories: int = 30,
     simulate_mixed_radix_up_to: int = 12,
     rng: np.random.Generator | int | None = 0,
+    batch_size: int | str | None = "auto",
+    runner: SweepRunner | None = None,
 ) -> list[StrategyEvaluation]:
-    """Run the Figure 7 sweep and return one evaluation per point.
-
-    ``simulate_mixed_radix_up_to`` mirrors the paper's memory ceiling: above
-    that qubit count the mixed-radix strategies fall back to the EPS
-    estimate instead of trajectory simulation (their error bars are missing
-    in the paper for the same reason).
-    """
-    strategies = list(strategies) if strategies is not None else Strategy.figure7_strategies()
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    evaluations: list[StrategyEvaluation] = []
-    for workload in workloads:
-        for size in sizes:
-            circuit = workload_by_name(workload, size)
-            for strategy in strategies:
-                trajectories = num_trajectories
-                if strategy.regime == "mixed" and size > simulate_mixed_radix_up_to:
-                    trajectories = 0
-                evaluations.append(
-                    evaluate_strategy(
-                        circuit,
-                        strategy,
-                        num_trajectories=trajectories,
-                        rng=generator,
-                    )
-                )
-    return evaluations
+    """Run the Figure 7 sweep and return one evaluation per point."""
+    points = fidelity_sweep_points(
+        workloads=workloads,
+        sizes=sizes,
+        strategies=strategies,
+        num_trajectories=num_trajectories,
+        simulate_mixed_radix_up_to=simulate_mixed_radix_up_to,
+        rng=rng,
+        batch_size=batch_size,
+    )
+    runner = runner or SweepRunner(max_workers=1)
+    return runner.run(points)
 
 
 def summarize_improvements(

@@ -7,8 +7,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.strategies import Strategy
-from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
-from repro.workloads import synthetic_cx_ccx_circuit
+from repro.experiments.runner import StrategyEvaluation
+from repro.experiments.sweep import SweepPoint, SweepRunner, point_seeds
 
 __all__ = ["run_gate_ratio_study", "GATE_RATIO_STRATEGIES"]
 
@@ -28,17 +28,27 @@ def run_gate_ratio_study(
     strategies: Sequence[Strategy] = GATE_RATIO_STRATEGIES,
     num_trajectories: int = 20,
     rng: np.random.Generator | int | None = 0,
+    runner: SweepRunner | None = None,
 ) -> list[tuple[float, StrategyEvaluation]]:
     """Sweep the CX fraction of a synthetic circuit across strategies."""
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    results: list[tuple[float, StrategyEvaluation]] = []
-    for fraction in cx_fractions:
-        circuit = synthetic_cx_ccx_circuit(
-            num_qubits, num_gates=num_gates, cx_fraction=fraction, seed=11
+    grid = [(fraction, strategy) for fraction in cx_fractions for strategy in strategies]
+    seeds = point_seeds(rng, len(grid))
+    points = [
+        SweepPoint(
+            workload="synthetic",
+            size=num_qubits,
+            strategy=strategy.name,
+            num_trajectories=num_trajectories,
+            seed=seed,
+            axis=fraction,
+            workload_kwargs=(
+                ("num_gates", num_gates),
+                ("cx_fraction", fraction),
+                ("seed", 11),
+            ),
         )
-        for strategy in strategies:
-            evaluation = evaluate_strategy(
-                circuit, strategy, num_trajectories=num_trajectories, rng=generator
-            )
-            results.append((fraction, evaluation))
-    return results
+        for seed, (fraction, strategy) in zip(seeds, grid)
+    ]
+    runner = runner or SweepRunner(max_workers=1)
+    evaluations = runner.run(points)
+    return [(point.axis, evaluation) for point, evaluation in zip(points, evaluations)]

@@ -149,41 +149,58 @@ def _fit_decay(depths: list[int], survival: list[float]) -> float:
     return float(params[1])
 
 
+def _rb_cell(task: tuple) -> float:
+    """Evaluate one (depth, interleaved?) RB cell — module level for pickling."""
+    depth, samples, clifford_error, interleave, interleaved_error, seed = task
+    generator = np.random.default_rng(seed)
+    interleaved = np.kron(gate_unitary("H"), gate_unitary("H")) if interleave else None
+    return float(
+        np.mean(
+            [
+                _run_sequence(
+                    depth,
+                    generator,
+                    clifford_error,
+                    interleaved,
+                    interleaved_error if interleave else 0.0,
+                )
+                for _ in range(samples)
+            ]
+        )
+    )
+
+
 def run_interleaved_rb(
     depths: list[int] | None = None,
     samples_per_depth: int = 10,
     clifford_error: float = DEFAULT_CLIFFORD_ERROR,
     interleaved_error: float = DEFAULT_HH_ERROR,
     rng: np.random.Generator | int | None = None,
+    runner: "SweepRunner | None" = None,
 ) -> RandomizedBenchmarkingResult:
-    """Run RB and interleaved RB of the H (x) H gate on a simulated ququart."""
+    """Run RB and interleaved RB of the H (x) H gate on a simulated ququart.
+
+    The per-depth RB and IRB cells are independent tasks: each draws its own
+    seed from the master generator and runs through the shared sweep engine
+    (:class:`~repro.experiments.sweep.SweepRunner`), so deep RB curves fan
+    out across workers exactly like the figure sweeps.
+    """
+    from repro.experiments.sweep import SweepRunner
+
     depths = depths or [1, 5, 10, 20, 40, 60, 80, 100]
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    hh = np.kron(gate_unitary("H"), gate_unitary("H"))
-
-    rb_curve: list[float] = []
-    irb_curve: list[float] = []
+    tasks = []
     for depth in depths:
-        rb_curve.append(
-            float(
-                np.mean(
-                    [
-                        _run_sequence(depth, generator, clifford_error, None, 0.0)
-                        for _ in range(samples_per_depth)
-                    ]
-                )
+        for interleave in (False, True):
+            seed = int(generator.integers(0, 2**31 - 1))
+            tasks.append(
+                (depth, samples_per_depth, clifford_error, interleave, interleaved_error, seed)
             )
-        )
-        irb_curve.append(
-            float(
-                np.mean(
-                    [
-                        _run_sequence(depth, generator, clifford_error, hh, interleaved_error)
-                        for _ in range(samples_per_depth)
-                    ]
-                )
-            )
-        )
+    runner = runner or SweepRunner(max_workers=1)
+    survivals = runner.map(_rb_cell, tasks)
+
+    rb_curve: list[float] = survivals[0::2]
+    irb_curve: list[float] = survivals[1::2]
 
     dimension = 4
     rb_alpha = _fit_decay(depths, rb_curve)

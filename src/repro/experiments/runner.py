@@ -64,12 +64,14 @@ def evaluate_strategy(
     coherence: CoherenceModel | None = None,
     num_trajectories: int = 0,
     rng: np.random.Generator | int | None = None,
+    batch_size: int | None = None,
 ) -> StrategyEvaluation:
     """Compile, estimate EPS and (optionally) simulate one strategy.
 
     ``num_trajectories = 0`` skips the trajectory simulation and relies on
     the EPS estimate alone — the same fall-back the paper uses for circuit
-    sizes beyond its simulation memory budget.
+    sizes beyond its simulation memory budget.  ``batch_size`` is forwarded
+    to :meth:`TrajectorySimulator.average_fidelity` (``None``: loop path).
     """
     coherence = coherence or CoherenceModel()
     gate_set = GateSet(error_model=error_model)
@@ -81,7 +83,9 @@ def evaluate_strategy(
     if num_trajectories > 0:
         simulator = TrajectorySimulator(NoiseModel(coherence=coherence), rng=rng)
         simulation = simulator.average_fidelity(
-            compilation.physical_circuit, num_trajectories=num_trajectories
+            compilation.physical_circuit,
+            num_trajectories=num_trajectories,
+            batch_size=batch_size,
         )
     return StrategyEvaluation(
         circuit_name=circuit.name,

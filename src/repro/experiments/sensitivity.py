@@ -6,11 +6,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.gateset import ErrorModel
 from repro.core.strategies import Strategy
-from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
-from repro.topology.device import CoherenceModel
-from repro.workloads import cuccaro_adder, qram_circuit
+from repro.experiments.runner import StrategyEvaluation
+from repro.experiments.sweep import SweepPoint, SweepRunner, point_seeds
 
 __all__ = ["run_gate_error_sensitivity", "run_coherence_sensitivity", "SENSITIVITY_STRATEGIES"]
 
@@ -29,6 +27,7 @@ def run_gate_error_sensitivity(
     strategies: Sequence[Strategy] = SENSITIVITY_STRATEGIES,
     num_trajectories: int = 20,
     rng: np.random.Generator | int | None = 0,
+    runner: SweepRunner | None = None,
 ) -> list[tuple[float, StrategyEvaluation]]:
     """Figure 9b: fidelity of an ``num_qubits`` Cuccaro adder vs ququart gate error.
 
@@ -36,21 +35,23 @@ def run_gate_error_sensitivity(
     |2>/|3> levels; qubit-only strategies are unaffected (flat lines in the
     figure) and provide the crossover reference.
     """
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    circuit = cuccaro_adder(num_qubits)
-    results: list[tuple[float, StrategyEvaluation]] = []
-    for factor in error_factors:
-        error_model = ErrorModel(ququart_error_factor=factor)
-        for strategy in strategies:
-            evaluation = evaluate_strategy(
-                circuit,
-                strategy,
-                error_model=error_model,
-                num_trajectories=num_trajectories,
-                rng=generator,
-            )
-            results.append((factor, evaluation))
-    return results
+    grid = [(factor, strategy) for factor in error_factors for strategy in strategies]
+    seeds = point_seeds(rng, len(grid))
+    points = [
+        SweepPoint(
+            workload="cuccaro",
+            size=num_qubits,
+            strategy=strategy.name,
+            error_factor=factor,
+            num_trajectories=num_trajectories,
+            seed=seed,
+            axis=factor,
+        )
+        for seed, (factor, strategy) in zip(seeds, grid)
+    ]
+    runner = runner or SweepRunner(max_workers=1)
+    evaluations = runner.run(points)
+    return [(point.axis, evaluation) for point, evaluation in zip(points, evaluations)]
 
 
 def run_coherence_sensitivity(
@@ -59,24 +60,29 @@ def run_coherence_sensitivity(
     strategies: Sequence[Strategy] = SENSITIVITY_STRATEGIES,
     num_trajectories: int = 20,
     rng: np.random.Generator | int | None = 0,
+    runner: SweepRunner | None = None,
 ) -> list[tuple[float, StrategyEvaluation]]:
     """Figure 9c: fidelity of a QRAM circuit vs |2>/|3> decoherence rate.
 
     ``coherence_scales`` multiplies the decay *rate* of the |2> and |3>
     levels only; 1.0 is the theoretical ``T1 / k`` scaling used elsewhere.
+    Every (strategy, scale) point reuses the same memoized compilation —
+    only the noise model changes along this axis.
     """
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    circuit = qram_circuit(num_qubits)
-    results: list[tuple[float, StrategyEvaluation]] = []
-    for scale in coherence_scales:
-        coherence = CoherenceModel(excited_scale=scale)
-        for strategy in strategies:
-            evaluation = evaluate_strategy(
-                circuit,
-                strategy,
-                coherence=coherence,
-                num_trajectories=num_trajectories,
-                rng=generator,
-            )
-            results.append((scale, evaluation))
-    return results
+    grid = [(scale, strategy) for scale in coherence_scales for strategy in strategies]
+    seeds = point_seeds(rng, len(grid))
+    points = [
+        SweepPoint(
+            workload="qram",
+            size=num_qubits,
+            strategy=strategy.name,
+            coherence_scale=scale,
+            num_trajectories=num_trajectories,
+            seed=seed,
+            axis=scale,
+        )
+        for seed, (scale, strategy) in zip(seeds, grid)
+    ]
+    runner = runner or SweepRunner(max_workers=1)
+    evaluations = runner.run(points)
+    return [(point.axis, evaluation) for point, evaluation in zip(points, evaluations)]

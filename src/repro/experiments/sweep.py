@@ -1,0 +1,225 @@
+"""Parallel sweep engine over (circuit x strategy x noise) grids.
+
+Every per-figure driver used to hand-roll its own nested loops around
+:func:`~repro.experiments.runner.evaluate_strategy`.  This module gives them
+one engine:
+
+* :class:`SweepPoint` — a picklable, declarative description of one grid
+  point (workload, size, strategy, error-model factor, coherence scale,
+  trajectory budget, RNG seed),
+* :func:`evaluate_point` — compiles (memoized per process), estimates EPS
+  and runs the batched trajectory simulation for one point,
+* :class:`SweepRunner` — fans a list of points (or any picklable tasks via
+  :meth:`SweepRunner.map`) across ``ProcessPoolExecutor`` workers, keeping
+  deterministic result order, and optionally writes CSV / JSON artifacts.
+
+Results are independent of the worker count and of the batch size: each
+point owns a seed, every trajectory draws from its own spawned stream, and
+the batched engine is bit-for-bit equivalent to the loop path.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.compiler import CompilationResult, QuantumWaltzCompiler
+from repro.core.gateset import ErrorModel, GateSet
+from repro.core.metrics import evaluate_metrics
+from repro.core.strategies import Strategy
+from repro.experiments.runner import StrategyEvaluation
+from repro.noise.model import NoiseModel
+from repro.noise.trajectory import TrajectorySimulator
+from repro.topology.device import CoherenceModel
+from repro.workloads import workload_by_name
+
+__all__ = ["SweepPoint", "SweepRunner", "evaluate_point", "point_seeds"]
+
+#: Trajectories per vectorized block handed to the batched engine.
+DEFAULT_BATCH_SIZE = 16
+
+#: Hilbert dimension above which "auto" batching falls back to the loop
+#: path: huge statevectors are memory-bandwidth-bound, so vectorizing across
+#: trajectories stops paying (the result is identical either way).
+_AUTO_BATCH_DIM_LIMIT = 1 << 16
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep grid, fully described by picklable values."""
+
+    workload: str
+    size: int
+    strategy: str
+    error_factor: float = 1.0
+    coherence_scale: float = 1.0
+    num_trajectories: int = 0
+    seed: int = 0
+    batch_size: int | str | None = "auto"
+    axis: float | None = None  # the swept value, carried through to results
+    workload_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def strategy_enum(self) -> Strategy:
+        return Strategy[self.strategy]
+
+    def build_circuit(self):
+        return workload_by_name(self.workload, self.size, **dict(self.workload_kwargs))
+
+
+@lru_cache(maxsize=256)
+def _compiled(
+    workload: str,
+    size: int,
+    workload_kwargs: tuple[tuple[str, Any], ...],
+    strategy: str,
+    error_factor: float,
+) -> CompilationResult:
+    """Compile one (circuit, strategy, error-model) combination, memoized.
+
+    The cache lives per process, so sweeps that revisit a compilation (for
+    example a coherence sweep, which only changes the noise model) compile
+    once per worker instead of once per point.
+    """
+    circuit = workload_by_name(workload, size, **dict(workload_kwargs))
+    gate_set = GateSet(error_model=ErrorModel(ququart_error_factor=error_factor))
+    compiler = QuantumWaltzCompiler(gate_set=gate_set)
+    return compiler.compile(circuit, strategy=Strategy[strategy])
+
+
+def _resolve_batch_size(point: SweepPoint, hilbert_dim: int) -> int | None:
+    if point.batch_size == "auto":
+        if hilbert_dim > _AUTO_BATCH_DIM_LIMIT:
+            return None
+        return min(DEFAULT_BATCH_SIZE, max(point.num_trajectories, 1))
+    return point.batch_size
+
+
+def evaluate_point(point: SweepPoint) -> StrategyEvaluation:
+    """Compile, estimate EPS and (optionally) simulate one sweep point."""
+    compilation = _compiled(
+        point.workload, point.size, point.workload_kwargs, point.strategy, point.error_factor
+    )
+    coherence = CoherenceModel(excited_scale=point.coherence_scale)
+    physical = compilation.physical_circuit
+    metrics = evaluate_metrics(physical, coherence)
+
+    simulation = None
+    if point.num_trajectories > 0:
+        simulator = TrajectorySimulator(NoiseModel(coherence=coherence), rng=point.seed)
+        hilbert_dim = int(np.prod(physical.device_dims))
+        simulation = simulator.average_fidelity(
+            physical,
+            num_trajectories=point.num_trajectories,
+            batch_size=_resolve_batch_size(point, hilbert_dim),
+        )
+    return StrategyEvaluation(
+        circuit_name=compilation.logical_circuit.name,
+        num_qubits=compilation.logical_circuit.num_qubits,
+        strategy=point.strategy_enum,
+        compilation=compilation,
+        metrics=metrics,
+        simulation=simulation,
+    )
+
+
+def point_seeds(rng: np.random.Generator | int | None, count: int) -> list[int]:
+    """Derive one deterministic seed per sweep point from a root seed."""
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return [int(seed) for seed in generator.integers(0, 2**31 - 1, size=count)]
+
+
+class SweepRunner:
+    """Fan sweep points (or arbitrary picklable tasks) across processes.
+
+    ``max_workers=None`` uses ``os.cpu_count()``; with one worker the sweep
+    runs inline (sharing the in-process compilation cache), which is also the
+    fallback whenever process pools are unavailable.  Results always come
+    back in input order.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        csv_path: str | Path | None = None,
+        json_path: str | Path | None = None,
+    ):
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.csv_path = Path(csv_path) if csv_path is not None else None
+        self.json_path = Path(json_path) if json_path is not None else None
+
+    # -- generic fan-out ---------------------------------------------------------
+    def map(self, function: Callable, tasks: Sequence) -> list:
+        """Apply ``function`` to every task, in order, possibly in parallel."""
+        tasks = list(tasks)
+        if self.max_workers == 1 or len(tasks) <= 1:
+            return [function(task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=min(self.max_workers, len(tasks))) as pool:
+            return list(pool.map(function, tasks))
+
+    # -- sweep-point evaluation ---------------------------------------------------
+    def run(self, points: Sequence[SweepPoint]) -> list[StrategyEvaluation]:
+        """Evaluate every point and write the configured artifacts."""
+        points = list(points)
+        evaluations = self.map(evaluate_point, points)
+        if self.csv_path is not None or self.json_path is not None:
+            rows = sweep_rows(points, evaluations)
+            if self.csv_path is not None:
+                write_csv(rows, self.csv_path)
+            if self.json_path is not None:
+                write_json(rows, self.json_path)
+        return evaluations
+
+
+def sweep_rows(
+    points: Sequence[SweepPoint], evaluations: Sequence[StrategyEvaluation]
+) -> list[dict]:
+    """Flatten (point, evaluation) pairs into CSV/JSON-ready dicts."""
+    rows = []
+    for point, evaluation in zip(points, evaluations):
+        row = {
+            "workload": point.workload,
+            "size": point.size,
+            "error_factor": point.error_factor,
+            "coherence_scale": point.coherence_scale,
+            "num_trajectories": point.num_trajectories,
+            "seed": point.seed,
+        }
+        if point.axis is not None:
+            row["axis"] = point.axis
+        row.update(evaluation.as_row())
+        rows.append(row)
+    return rows
+
+
+def write_csv(rows: Sequence[dict], path: str | Path) -> Path:
+    """Write sweep rows to a CSV file (parent directories are created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    fieldnames = list(rows[0])
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(rows: Sequence[dict], path: str | Path) -> Path:
+    """Write sweep rows to a JSON file (parent directories are created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(list(rows), indent=2, default=str))
+    return path

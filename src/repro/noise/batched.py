@@ -1,0 +1,167 @@
+"""Vectorized trajectory engine: evolve a ``(batch, dim)`` block at once.
+
+The engine executes the same compiled :class:`~repro.noise.program.TrajectoryProgram`
+as the sequential loop simulator, but applies every kernel to a whole block
+of statevectors: one gather / broadcast multiply / einsum / GEMM per
+scheduled event instead of one per event per trajectory.  Stochastic noise
+decisions are drawn per trajectory from per-trajectory RNG streams, then
+trajectories are grouped by outcome so the (almost always unanimous)
+no-jump damping update is still a single fused multiply across the batch.
+
+Because both executors consume the same program and the batched kernels are
+built from the same element-wise operations as their scalar counterparts
+(see :mod:`repro.noise.program`), a batched run is bit-for-bit identical to
+the loop path given the same seed — enforced by
+``tests/test_batched_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.physical import PhysicalCircuit
+from repro.noise.model import NoiseModel
+from repro.noise.program import (
+    GateStep,
+    IdleStep,
+    TrajectoryProgram,
+    apply_kernel_batch,
+    compile_program,
+    device_populations,
+    draw_idle_choice,
+    jump_scale,
+    no_jump_scales,
+    sample_gate_error,
+)
+from repro.qudit.states import apply_unitary, fidelity
+
+__all__ = ["BatchedTrajectoryEngine"]
+
+
+class BatchedTrajectoryEngine:
+    """Evolve batches of statevectors through a compiled trajectory program."""
+
+    def __init__(
+        self,
+        physical: PhysicalCircuit,
+        noise_model: NoiseModel | None = None,
+        program: TrajectoryProgram | None = None,
+    ):
+        self.physical = physical
+        self.noise_model = noise_model or NoiseModel()
+        self.program = program or compile_program(physical, self.noise_model)
+
+    # -- noise events ------------------------------------------------------------
+    def _apply_idle(
+        self,
+        states: np.ndarray,
+        step: IdleStep,
+        streams: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        batch = states.shape[0]
+        left, d, right = step.reshape
+        # Populations are reduced per row with the scalar helper: multi-axis
+        # reductions over a batched tensor are not reliably bit-identical to
+        # their per-slice counterparts, and the loop path is the reference.
+        populations = [device_populations(states[index], step) for index in range(batch)]
+
+        # Per-level scale of each trajectory's update; identity rows (skipped
+        # draws) keep scale 1, which multiplies exactly.  Jumps are rare and
+        # are rebuilt per affected row below.
+        scales = np.ones((batch, d))
+        jumps: list[tuple[int, int, float]] = []
+        for index in range(batch):
+            choice = draw_idle_choice(step, populations[index], streams[index])
+            if choice is None:
+                continue
+            if choice == 0:
+                row_scales = no_jump_scales(step, populations[index])
+                if row_scales is not None:
+                    scales[index] = row_scales
+                continue
+            scale = jump_scale(step, choice, populations[index])
+            if scale is not None:
+                jumps.append((index, choice, scale))
+                scales[index] = 1.0  # row is rewritten wholesale below
+
+        tensor = states.reshape(batch, left, d, right)
+        np.multiply(tensor, scales[:, None, :, None], out=tensor)
+        for index, choice, scale in jumps:
+            # The jump row was multiplied by exactly 1.0 above, so it still
+            # holds the pre-event amplitudes bit for bit.
+            row = states[index].reshape(left, d, right)
+            out = np.zeros_like(row)
+            out[:, 0, :] = row[:, choice, :] * scale
+            tensor[index] = out
+        return states
+
+    def _apply_gate_error(
+        self,
+        states: np.ndarray,
+        step: GateStep,
+        streams: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        dims = self.program.dims
+        for index in range(states.shape[0]):
+            error = sample_gate_error(step, dims, streams[index])
+            if error is None:
+                continue
+            states[index] = apply_unitary(states[index], error, step.op.devices, dims)
+        return states
+
+    # -- execution ---------------------------------------------------------------
+    def run_ideal(self, states: np.ndarray) -> np.ndarray:
+        """Evolve a ``(batch, dim)`` block without noise."""
+        states = np.array(states, dtype=np.complex128)
+        scratch = np.empty_like(states)
+        for step in self.program.ideal_steps:
+            result = apply_kernel_batch(states, step.kernel, self.program.dims, out=scratch)
+            if result is scratch:
+                states, scratch = scratch, states
+            else:
+                states = result  # in-place kernels return states; others may be fresh
+        return states
+
+    def run_trajectories(
+        self, states: np.ndarray, streams: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Evolve a ``(batch, dim)`` block with per-trajectory stochastic noise."""
+        states = np.array(states, dtype=np.complex128)
+        if states.shape[0] != len(streams):
+            raise ValueError("need exactly one RNG stream per trajectory")
+        scratch = np.empty_like(states)
+        for step in self.program.steps:
+            if isinstance(step, GateStep):
+                result = apply_kernel_batch(states, step.kernel, self.program.dims, out=scratch)
+                if result is scratch:
+                    states, scratch = scratch, states
+                else:
+                    states = result  # in-place kernels return states; others may be fresh
+                if step.error_dims is not None:
+                    states = self._apply_gate_error(states, step, streams)
+            else:
+                states = self._apply_idle(states, step, streams)
+        return states
+
+    def run_fidelities(
+        self,
+        streams: Sequence[np.random.Generator],
+        sampler: Callable[[np.random.Generator], np.ndarray],
+    ) -> list[float]:
+        """Sample one initial state per stream and return per-trajectory fidelities.
+
+        Each stream is consumed in the same order as the loop path: first the
+        initial-state draw, then that trajectory's noise decisions.
+        """
+        initials = np.array([sampler(stream) for stream in streams], dtype=np.complex128)
+        ideal = self.run_ideal(initials)
+        noisy = self.run_trajectories(initials, streams)
+        # The overlap is taken on fresh copies: BLAS dot products are
+        # sensitive to the 64-byte phase of their operands, and row views of
+        # the batch land on varying phases while the loop path always hands
+        # vdot freshly allocated vectors.
+        return [
+            fidelity(np.array(ideal[i]), np.array(noisy[i])) for i in range(len(streams))
+        ]

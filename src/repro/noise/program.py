@@ -1,0 +1,490 @@
+"""Compiled trajectory programs and structured statevector kernels.
+
+The trajectory simulators (the sequential loop in
+:mod:`repro.noise.trajectory` and the vectorized engine in
+:mod:`repro.noise.batched`) share one intermediate representation: a
+``(PhysicalCircuit, NoiseModel)`` pair is *compiled once* into a
+:class:`TrajectoryProgram` — the scheduled op stream flattened into gate and
+idle events, each gate carrying its cached embedded unitary and a structural
+classification, each idle window carrying its precomputed decay
+probabilities.
+
+The classification exploits that almost every pulse of the paper's gate set
+is *monomial* (exactly one nonzero entry per row of the unitary):
+
+* ``diag``     — diagonal (CCZ, CZ, S, T, RZ, CS, ...): one broadcast multiply,
+* ``perm``     — 0/1 permutation (X, CX, SWAP, ENC, CCX, ...): one index gather,
+* ``monomial`` — permutation with phases (Y, iToffoli, ...): gather + multiply,
+* ``single``   — dense single-device unitary (H, damping Kraus): one einsum,
+* ``generic``  — anything else: transpose + GEMM via ``apply_unitary``.
+
+Every kernel has a scalar (one statevector) and a batched ``(batch, dim)``
+variant built from the *same element-wise operations*, so a batched run
+reproduces the loop run bit for bit when fed the same per-trajectory RNG
+streams.  Because both executors consume the same compiled program, kernel
+selection can never make the two paths disagree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.core.physical import PhysicalCircuit, PhysicalOp
+from repro.noise.model import NoiseModel
+from repro.qudit.states import apply_unitary, apply_unitary_batch
+from repro.qudit.unitaries import embed_qubit_unitary
+
+__all__ = [
+    "GateStep",
+    "IdleStep",
+    "TrajectoryProgram",
+    "compile_program",
+]
+
+#: Largest number of cached full-register gather indices per program (each is
+#: an int32 array of the full Hilbert dimension).  Ops beyond the cap simply
+#: fall back to the generic kernel — both executors read the same program, so
+#: the fallback cannot introduce a loop/batched divergence.
+_MAX_GATHER_ENTRIES = 256
+
+#: Above this many elements (batch * hilbert_dim) a generic unitary is
+#: applied row by row instead of through one batched GEMM: the batched
+#: transpose of a huge block is strided across all of it and loses to the
+#: cache-friendly per-row path.  Purely a speed knob — both variants are
+#: bit-for-bit identical to the scalar kernel.
+_GENERIC_BATCH_ELEMENT_LIMIT = 1 << 20
+
+
+# ---------------------------------------------------------------------------
+# kernel classification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Kernel:
+    """How to apply one unitary to the register, scalar or batched."""
+
+    kind: str  # "diag" | "perm" | "monomial" | "single" | "generic"
+    unitary: np.ndarray
+    targets: tuple[int, ...]
+    index: np.ndarray | None = None  # full-register gather (perm / monomial)
+    phase: np.ndarray | None = None  # broadcast-ready phases (diag / monomial)
+    reshape: tuple[int, int, int] | None = None  # (left, d, right) for "single"
+
+
+def _monomial_structure(unitary: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+    """Return ``(source, phases)`` when every row has exactly one nonzero."""
+    dim = unitary.shape[0]
+    source = np.empty(dim, dtype=np.int64)
+    phases = np.empty(dim, dtype=np.complex128)
+    for row in range(dim):
+        nonzero = np.flatnonzero(unitary[row])
+        if nonzero.size != 1:
+            return None
+        source[row] = nonzero[0]
+        phases[row] = unitary[row, nonzero[0]]
+    return source, phases
+
+
+def _full_gather_index(
+    source: np.ndarray, targets: tuple[int, ...], dims: tuple[int, ...]
+) -> np.ndarray:
+    """Lift an op-subspace row->column map to a full-register gather index.
+
+    Returns ``idx`` such that ``out[j] = state[idx[j]]`` implements the
+    permutation part of the monomial on the whole register.
+    """
+    total = int(np.prod(dims))
+    strides = np.ones(len(dims), dtype=np.int64)
+    for axis in range(len(dims) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * dims[axis + 1]
+    flat = np.arange(total, dtype=np.int64)
+    op_index = np.zeros(total, dtype=np.int64)
+    base = flat.copy()
+    for target in targets:
+        digit = (flat // strides[target]) % dims[target]
+        op_index = op_index * dims[target] + digit
+        base -= digit * strides[target]
+    column = source[op_index]
+    gathered = base
+    for target in reversed(targets):
+        digit = column % dims[target]
+        column = column // dims[target]
+        gathered = gathered + digit * strides[target]
+    return gathered.astype(np.int32 if total < 2**31 else np.int64)
+
+
+def _phase_broadcast(
+    phases: np.ndarray, targets: tuple[int, ...], dims: tuple[int, ...]
+) -> np.ndarray:
+    """Reshape per-row phases for broadcasting over a ``dims``-shaped tensor."""
+    target_dims = tuple(dims[t] for t in targets)
+    tensor = phases.reshape(target_dims)
+    tensor = np.transpose(tensor, np.argsort(targets))
+    shape = [1] * len(dims)
+    for target in targets:
+        shape[target] = dims[target]
+    return tensor.reshape(shape)
+
+
+def _single_reshape(target: int, dims: tuple[int, ...]) -> tuple[int, int, int]:
+    left = int(np.prod(dims[:target])) if target else 1
+    right = int(np.prod(dims[target + 1 :])) if target + 1 < len(dims) else 1
+    return left, dims[target], right
+
+
+def _classify(
+    unitary: np.ndarray,
+    targets: tuple[int, ...],
+    dims: tuple[int, ...],
+    gather_budget: list[int],
+) -> _Kernel:
+    structure = _monomial_structure(unitary)
+    if structure is not None:
+        source, phases = structure
+        identity_map = bool(np.array_equal(source, np.arange(source.size)))
+        pure = bool(np.all(phases == 1.0))
+        if identity_map and pure:
+            # Identity op: applying it is still a copy in the scalar path, so
+            # classify as diag with all-ones phases skipped at apply time.
+            return _Kernel("diag", unitary, targets, phase=None)
+        if identity_map:
+            return _Kernel(
+                "diag", unitary, targets, phase=_phase_broadcast(phases, targets, dims)
+            )
+        if gather_budget[0] > 0:
+            gather_budget[0] -= 1
+            index = _full_gather_index(source, targets, dims)
+            if pure:
+                return _Kernel("perm", unitary, targets, index=index)
+            return _Kernel(
+                "monomial",
+                unitary,
+                targets,
+                index=index,
+                phase=_phase_broadcast(phases, targets, dims),
+            )
+    if len(targets) == 1:
+        return _Kernel("single", unitary, targets, reshape=_single_reshape(targets[0], dims))
+    return _Kernel("generic", unitary, targets)
+
+
+# ---------------------------------------------------------------------------
+# kernel application (scalar and batched variants share every element-wise op)
+# ---------------------------------------------------------------------------
+
+
+def apply_kernel(state: np.ndarray, kernel: _Kernel, dims: tuple[int, ...]) -> np.ndarray:
+    """Apply a classified unitary to one flat statevector."""
+    if kernel.kind == "diag":
+        if kernel.phase is None:
+            return state.copy()
+        return (state.reshape(dims) * kernel.phase).reshape(-1)
+    if kernel.kind == "perm":
+        return state[kernel.index]
+    if kernel.kind == "monomial":
+        gathered = state[kernel.index]
+        return (gathered.reshape(dims) * kernel.phase).reshape(-1)
+    if kernel.kind == "single":
+        left, d, right = kernel.reshape
+        return np.einsum(
+            "ij,ljr->lir", kernel.unitary, state.reshape(left, d, right)
+        ).reshape(-1)
+    return apply_unitary(state, kernel.unitary, kernel.targets, dims)
+
+
+def apply_kernel_batch(
+    states: np.ndarray,
+    kernel: _Kernel,
+    dims: tuple[int, ...],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply a classified unitary to a ``(batch, dim)`` block.
+
+    Row ``i`` of the result is bit-for-bit :func:`apply_kernel` of row ``i``:
+    gathers and broadcast multiplies are element-wise identical, the batched
+    einsum contracts each row exactly like the scalar einsum, and the generic
+    GEMM falls back to per-row application above a size threshold (below it,
+    ``apply_unitary_batch`` performs the identical per-slice GEMM).
+
+    ``out``, when given, is a scratch block of the same shape: kernels that
+    cannot work in place write into it and return it, everything else
+    modifies ``states`` in place and returns it.  Reusing the two blocks
+    avoids re-faulting tens of megabytes of fresh pages on every op, which
+    dominates the wall-clock of large registers.
+    """
+    batch = states.shape[0]
+    if kernel.kind == "diag":
+        if kernel.phase is not None:
+            tensor = states.reshape((batch,) + dims)
+            np.multiply(tensor, kernel.phase[None], out=tensor)
+        return states
+    if kernel.kind in ("perm", "monomial"):
+        if out is None:
+            out = np.empty_like(states)
+        if states.size <= _GENERIC_BATCH_ELEMENT_LIMIT:
+            np.take(states, kernel.index, axis=1, out=out)
+        else:
+            # Row-wise gathers: np.take along axis 1 iterates index-outer /
+            # batch-inner on big blocks, which thrashes the cache.
+            for index in range(batch):
+                np.take(states[index], kernel.index, out=out[index])
+        if kernel.phase is not None:
+            tensor = out.reshape((batch,) + dims)
+            np.multiply(tensor, kernel.phase[None], out=tensor)
+        return out
+    if kernel.kind == "single":
+        left, d, right = kernel.reshape
+        if out is None:
+            out = np.empty_like(states)
+        if states.size <= _GENERIC_BATCH_ELEMENT_LIMIT:
+            np.einsum(
+                "ij,bljr->blir",
+                kernel.unitary,
+                states.reshape(batch, left, d, right),
+                out=out.reshape(batch, left, d, right),
+            )
+        else:
+            # Per-row einsum: the batched contraction picks a poor loop order
+            # on huge tensors; each row is the scalar kernel verbatim.
+            for index in range(batch):
+                np.einsum(
+                    "ij,ljr->lir",
+                    kernel.unitary,
+                    states[index].reshape(left, d, right),
+                    out=out[index].reshape(left, d, right),
+                )
+        return out
+    if states.size <= _GENERIC_BATCH_ELEMENT_LIMIT:
+        return apply_unitary_batch(states, kernel.unitary, kernel.targets, dims)
+    if out is None:
+        out = np.empty_like(states)
+    for index in range(batch):
+        out[index] = apply_unitary(states[index], kernel.unitary, kernel.targets, dims)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# program events
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GateStep:
+    """One scheduled op with its kernel and optional depolarizing channel."""
+
+    op: PhysicalOp
+    kernel: _Kernel
+    error_dims: tuple[int, ...] | None = None  # None: no depolarizing draw
+    error_rate: float = 0.0
+
+
+@dataclass
+class IdleStep:
+    """An idle window on one device with precomputed damping data."""
+
+    device: int
+    dim: int
+    idle_ns: float
+    lambdas: list[float]
+    outcomes: list[int]
+    reshape: tuple[int, int, int]  # (left, d, right) of the device axis
+
+
+@dataclass
+class TrajectoryProgram:
+    """A physical circuit compiled against a noise model, ready to execute."""
+
+    physical: PhysicalCircuit
+    noise_model: NoiseModel
+    dims: tuple[int, ...]
+    steps: list[GateStep | IdleStep] = field(default_factory=list)
+    ideal_steps: list[GateStep] = field(default_factory=list)
+
+
+def compile_program(physical: PhysicalCircuit, noise_model: NoiseModel) -> TrajectoryProgram:
+    """Flatten a physical circuit and a noise model into a trajectory program.
+
+    The event sequence fixes the per-trajectory RNG consumption order: per
+    scheduled op, an idle-damping event for every participating device that
+    sat idle (in device order of the op), then the op with its optional
+    depolarizing draw, and trailing idle events for every device after the
+    last op.  ``ideal_steps`` replays the plain op list without noise.
+    """
+    dims = tuple(physical.device_dims)
+    program = TrajectoryProgram(physical=physical, noise_model=noise_model, dims=dims)
+    schedule = physical.schedule()
+    last_busy = {device: 0.0 for device in range(physical.num_devices)}
+    modes = {
+        device: physical.initial_modes.get(device, 0)
+        for device in range(physical.num_devices)
+    }
+    kernel_cache: dict[tuple[int, tuple[int, ...]], _Kernel] = {}
+    gather_budget = [_MAX_GATHER_ENTRIES]
+
+    def kernel_for(op: PhysicalOp) -> _Kernel:
+        unitary = physical.op_unitary(op)
+        key = (id(unitary), op.devices)
+        kernel = kernel_cache.get(key)
+        if kernel is None:
+            kernel = _classify(unitary, op.devices, dims, gather_budget)
+            kernel_cache[key] = kernel
+        return kernel
+
+    def idle_step(device: int, idle_ns: float) -> IdleStep:
+        dim = dims[device]
+        return IdleStep(
+            device=device,
+            dim=dim,
+            idle_ns=idle_ns,
+            lambdas=noise_model.idle_decay_probabilities(dim, idle_ns),
+            outcomes=[0] + list(range(1, dim)),
+            reshape=_single_reshape(device, dims),
+        )
+
+    for item in schedule:
+        op = item.op
+        if noise_model.amplitude_damping_enabled:
+            for device in op.devices:
+                idle = item.start - last_busy[device]
+                if idle > 0:
+                    program.steps.append(idle_step(device, idle))
+        step = GateStep(op=op, kernel=kernel_for(op))
+        if noise_model.depolarizing_enabled and op.error_rate > 0.0:
+            step.error_dims = tuple(
+                2 if modes.get(device, 0) <= 1 else dims[device] for device in op.devices
+            )
+            step.error_rate = op.error_rate
+        program.steps.append(step)
+        for device in op.devices:
+            last_busy[device] = item.end
+        for device, new_mode in op.sets_mode:
+            modes[device] = new_mode
+
+    if noise_model.amplitude_damping_enabled:
+        total = max((item.end for item in schedule), default=0.0)
+        for device in range(physical.num_devices):
+            idle = total - last_busy[device]
+            if idle > 0:
+                program.steps.append(idle_step(device, idle))
+
+    for op in physical.ops:
+        program.ideal_steps.append(GateStep(op=op, kernel=kernel_for(op)))
+    return program
+
+
+# ---------------------------------------------------------------------------
+# idle-damping decisions (shared float arithmetic for both executors)
+# ---------------------------------------------------------------------------
+
+
+def device_populations(state: np.ndarray, step: IdleStep) -> np.ndarray:
+    """Level populations of the idle device, from one flat statevector.
+
+    The statevector is viewed as interleaved float64 pairs so the squared
+    magnitudes and the marginalization fuse into a single contraction (no
+    temporaries); both executors call this same helper, so the summation
+    order is identical on the loop and batched paths.
+    """
+    left, d, right = step.reshape
+    floats = state.view(np.float64).reshape(left, d, 2 * right)
+    return np.einsum("ldr,ldr->d", floats, floats)
+
+
+def draw_idle_choice(
+    step: IdleStep, populations: np.ndarray, rng: np.random.Generator
+) -> int | None:
+    """Draw which damping outcome occurs (0 = no jump), or None to skip.
+
+    Consumes exactly one uniform; the inverse-CDF walk over at most four
+    outcomes replaces ``Generator.choice`` (which validates and cumsums its
+    probability vector on every call, dominating small-register sweeps).
+    """
+    decay_probs = [step.lambdas[m - 1] * populations[m] for m in range(1, step.dim)]
+    no_decay = 1.0 - sum(decay_probs)
+    probabilities = [max(no_decay, 0.0)] + decay_probs
+    total = sum(probabilities)
+    if total <= 0:
+        return None
+    threshold = rng.random() * total
+    cumulative = 0.0
+    for outcome, probability in zip(step.outcomes, probabilities):
+        cumulative += probability
+        if threshold < cumulative:
+            return outcome
+    return step.outcomes[-1]
+
+
+def no_jump_scales(step: IdleStep, populations: np.ndarray) -> np.ndarray | None:
+    """Per-level scale factors of the renormalized no-jump update.
+
+    The no-jump Kraus operator is ``diag(1, sqrt(1-l_1), ...)``; its output
+    norm is known analytically from the level populations, so the update and
+    the renormalization collapse into one multiply.
+    """
+    weights = [1.0] + [1.0 - lam for lam in step.lambdas]
+    norm_sq = sum(w * populations[m] for m, w in enumerate(weights))
+    if norm_sq <= 0.0:
+        return None
+    inverse_norm = 1.0 / math.sqrt(norm_sq)
+    return np.array([math.sqrt(w) * inverse_norm for w in weights])
+
+
+def jump_scale(step: IdleStep, choice: int, populations: np.ndarray) -> float | None:
+    """Amplitude scale of the renormalized decay ``|choice> -> |0>`` jump."""
+    lam = step.lambdas[choice - 1]
+    norm_sq = lam * float(populations[choice])
+    if norm_sq <= 0.0:
+        return None
+    return math.sqrt(lam) / math.sqrt(norm_sq)
+
+
+def apply_idle_scalar(
+    state: np.ndarray, step: IdleStep, rng: np.random.Generator
+) -> np.ndarray:
+    """Apply one idle-damping event to one statevector."""
+    populations = device_populations(state, step)
+    choice = draw_idle_choice(step, populations, rng)
+    if choice is None:
+        return state
+    left, d, right = step.reshape
+    tensor = state.reshape(left, d, right)
+    if choice == 0:
+        scales = no_jump_scales(step, populations)
+        if scales is None:
+            return state
+        return (tensor * scales[None, :, None]).reshape(-1)
+    scale = jump_scale(step, choice, populations)
+    if scale is None:
+        return state
+    out = np.zeros_like(tensor)
+    out[:, 0, :] = tensor[:, choice, :] * scale
+    return out.reshape(-1)
+
+
+def sample_gate_error(
+    step: GateStep,
+    dims: tuple[int, ...],
+    rng: np.random.Generator,
+) -> np.ndarray | None:
+    """Draw the post-gate depolarizing error operator, or None (no error)."""
+    from repro.noise.channels import sample_depolarizing_error_factors
+
+    factors = sample_depolarizing_error_factors(step.error_dims, step.error_rate, rng)
+    if factors is None:
+        return None
+    actual_dims = tuple(dims[d] for d in step.op.devices)
+    result = np.array([[1.0]], dtype=np.complex128)
+    for err_dim, actual_dim, local in zip(step.error_dims, actual_dims, factors):
+        if err_dim == actual_dim:
+            lifted = local
+        elif err_dim == 2 and actual_dim == 4:
+            lifted = embed_qubit_unitary(local, [(0, 1)], (4,))
+        else:
+            raise ValueError(
+                f"cannot embed error of dim {err_dim} on device of dim {actual_dim}"
+            )
+        result = np.kron(result, lifted)
+    return result

@@ -15,24 +15,37 @@ circuit.  Errors are injected stochastically:
 Fidelity is measured against the noise-free evolution of the same physical
 circuit from the same (random) input state, averaged over many random input
 states as in the paper's evaluation.
+
+The simulator executes a compiled :class:`~repro.noise.program.TrajectoryProgram`
+(ops flattened into gate/idle events with structured kernels), built once
+per physical circuit and shared with the vectorized engine in
+:mod:`repro.noise.batched`.  ``average_fidelity(..., batch_size=k)`` runs
+blocks of ``k`` trajectories through that engine and is bit-for-bit
+equivalent to the loop path under the same seed.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
 from repro.core.compiler import CompilationResult
 from repro.core.encoding import embed_logical_state
 from repro.core.physical import PhysicalCircuit
-from repro.noise.channels import sample_depolarizing_error_factors
 from repro.noise.model import NoiseModel
+from repro.noise.program import (
+    GateStep,
+    TrajectoryProgram,
+    apply_idle_scalar,
+    apply_kernel,
+    compile_program,
+    sample_gate_error,
+)
 from repro.qudit.random import haar_random_state
-from repro.qudit.states import MixedRadixState, apply_unitary, basis_state, fidelity
-from repro.qudit.unitaries import embed_qubit_unitary
+from repro.qudit.states import apply_unitary, fidelity
 
 __all__ = ["TrajectoryResult", "TrajectorySimulator", "simulate_fidelity"]
 
@@ -68,124 +81,53 @@ class TrajectorySimulator:
     def __init__(self, noise_model: NoiseModel | None = None, rng: np.random.Generator | int | None = None):
         self.noise_model = noise_model or NoiseModel()
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._programs: dict[tuple[int, int], TrajectoryProgram] = {}
+
+    # -- program compilation ----------------------------------------------------------
+    def program_for(self, physical: PhysicalCircuit) -> TrajectoryProgram:
+        """Return the compiled trajectory program for a circuit (memoized)."""
+        key = (id(physical), physical.version)
+        program = self._programs.get(key)
+        if program is None:
+            program = compile_program(physical, self.noise_model)
+            self._programs.clear()  # one circuit at a time is the common case
+            self._programs[key] = program
+        return program
 
     # -- noise-free evolution ----------------------------------------------------------
     def run_ideal(self, physical: PhysicalCircuit, initial_state: np.ndarray) -> np.ndarray:
         """Evolve ``initial_state`` through the circuit without any noise."""
+        program = self.program_for(physical)
         state = np.asarray(initial_state, dtype=np.complex128).copy()
-        dims = physical.device_dims
-        for op in physical.ops:
-            unitary = physical.op_unitary(op)
-            state = apply_unitary(state, unitary, op.devices, dims)
+        for step in program.ideal_steps:
+            state = apply_kernel(state, step.kernel, program.dims)
         return state
 
     # -- single noisy trajectory ----------------------------------------------------------
-    def run_trajectory(self, physical: PhysicalCircuit, initial_state: np.ndarray) -> np.ndarray:
-        """Evolve one noisy trajectory and return the final statevector."""
-        state = np.asarray(initial_state, dtype=np.complex128).copy()
-        dims = physical.device_dims
-        schedule = physical.schedule()
-        last_busy = {device: 0.0 for device in range(physical.num_devices)}
-        modes = {device: physical.initial_modes.get(device, 0) for device in range(physical.num_devices)}
-
-        for item in schedule:
-            op = item.op
-            if self.noise_model.amplitude_damping_enabled:
-                for device in op.devices:
-                    idle = item.start - last_busy[device]
-                    if idle > 0:
-                        state = self._apply_idle_damping(state, dims, device, idle)
-
-            unitary = physical.op_unitary(op)
-            state = apply_unitary(state, unitary, op.devices, dims)
-
-            if self.noise_model.depolarizing_enabled and op.error_rate > 0.0:
-                state = self._apply_gate_error(state, dims, op, modes)
-
-            for device in op.devices:
-                last_busy[device] = item.end
-            for device, new_mode in op.sets_mode:
-                modes[device] = new_mode
-
-        if self.noise_model.amplitude_damping_enabled:
-            total = max((item.end for item in schedule), default=0.0)
-            for device in range(physical.num_devices):
-                idle = total - last_busy[device]
-                if idle > 0:
-                    state = self._apply_idle_damping(state, dims, device, idle)
-        return state
-
-    # -- error application ---------------------------------------------------------------
-    def _apply_idle_damping(
-        self, state: np.ndarray, dims: Sequence[int], device: int, idle_ns: float
-    ) -> np.ndarray:
-        """Stochastically apply amplitude damping to one idle device."""
-        dim = dims[device]
-        lambdas = self.noise_model.idle_decay_probabilities(dim, idle_ns)
-        populations = MixedRadixState(state, tuple(dims)).level_populations(device)
-        decay_probs = [lambdas[m - 1] * populations[m] for m in range(1, dim)]
-        no_decay = 1.0 - sum(decay_probs)
-        outcomes = [0] + list(range(1, dim))
-        probabilities = [max(no_decay, 0.0)] + decay_probs
-        total = sum(probabilities)
-        if total <= 0:
-            return state
-        probabilities = [p / total for p in probabilities]
-        choice = self.rng.choice(outcomes, p=probabilities)
-        kraus = self.noise_model.idle_kraus(dim, idle_ns)
-        if choice == 0:
-            operator = kraus[0]
-        else:
-            operator = kraus[int(choice)]
-        new_state = apply_unitary(state, operator, (device,), dims)
-        norm = np.linalg.norm(new_state)
-        if norm == 0.0:
-            return state
-        return new_state / norm
-
-    def _apply_gate_error(
+    def run_trajectory(
         self,
-        state: np.ndarray,
-        dims: Sequence[int],
-        op,
-        modes: dict[int, int],
+        physical: PhysicalCircuit,
+        initial_state: np.ndarray,
+        rng: np.random.Generator | None = None,
     ) -> np.ndarray:
-        """Stochastically apply a depolarizing error after a gate.
+        """Evolve one noisy trajectory and return the final statevector.
 
-        Each participating device contributes errors from its own logical
-        dimension: a device whose data stays in the qubit subspace draws
-        2-dimensional Paulis (embedded on its |0>/|1> levels), an encoded
-        device draws 4-dimensional generalized Paulis.
+        ``rng`` selects the stream the stochastic decisions are drawn from;
+        it defaults to the simulator's own generator.
         """
-        error_dims = tuple(
-            2 if modes.get(device, 0) <= 1 else dims[device] for device in op.devices
-        )
-        factors = sample_depolarizing_error_factors(error_dims, op.error_rate, self.rng)
-        if factors is None:
-            return state
-        actual_dims = tuple(dims[d] for d in op.devices)
-        embedded = self._embed_error(factors, error_dims, actual_dims)
-        return apply_unitary(state, embedded, op.devices, dims)
-
-    @staticmethod
-    def _embed_error(
-        factors: Sequence[np.ndarray], error_dims: tuple[int, ...], actual_dims: tuple[int, ...]
-    ) -> np.ndarray:
-        """Lift per-device error factors onto the devices' actual dimensions.
-
-        A qubit-subspace error on a 4-level device acts on the device's low
-        encoded bit (levels |0>/|1> when the high bit is 0), i.e. slot 1.
-        """
-        result = np.array([[1.0]], dtype=np.complex128)
-        for err_dim, actual_dim, local in zip(error_dims, actual_dims, factors):
-            if err_dim == actual_dim:
-                lifted = local
-            elif err_dim == 2 and actual_dim == 4:
-                lifted = embed_qubit_unitary(local, [(0, 1)], (4,))
+        rng = rng if rng is not None else self.rng
+        program = self.program_for(physical)
+        state = np.asarray(initial_state, dtype=np.complex128).copy()
+        for step in program.steps:
+            if isinstance(step, GateStep):
+                state = apply_kernel(state, step.kernel, program.dims)
+                if step.error_dims is not None:
+                    error = sample_gate_error(step, program.dims, rng)
+                    if error is not None:
+                        state = apply_unitary(state, error, step.op.devices, program.dims)
             else:
-                raise ValueError(f"cannot embed error of dim {err_dim} on device of dim {actual_dim}")
-            result = np.kron(result, lifted)
-        return result
+                state = apply_idle_scalar(state, step, rng)
+        return state
 
     # -- fidelity estimation -------------------------------------------------------------------
     def average_fidelity(
@@ -193,6 +135,7 @@ class TrajectorySimulator:
         physical: PhysicalCircuit,
         num_trajectories: int = 100,
         initial_state_sampler: Callable[[np.random.Generator], np.ndarray] | None = None,
+        batch_size: int | None = None,
     ) -> TrajectoryResult:
         """Average trajectory fidelity over random input states.
 
@@ -200,15 +143,34 @@ class TrajectorySimulator:
         state embedded into the physical register according to the circuit's
         initial placement (unused slots in |0>), matching the paper's use of
         random quantum input states.
+
+        Every trajectory draws from its own child RNG stream (spawned from
+        the simulator's generator), so the result depends only on the seed
+        and the trajectory index.  ``batch_size=None`` evolves one
+        statevector at a time (the loop path); ``batch_size=k`` hands blocks
+        of ``k`` trajectories to the vectorized
+        :class:`~repro.noise.batched.BatchedTrajectoryEngine`, which is
+        bit-for-bit equivalent under the same seed.
         """
         if num_trajectories < 1:
             raise ValueError("need at least one trajectory")
         sampler = initial_state_sampler or _default_state_sampler(physical)
+        streams = self.rng.spawn(num_trajectories)
         result = TrajectoryResult()
-        for _ in range(num_trajectories):
-            initial = sampler(self.rng)
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError("batch_size must be at least 1")
+            from repro.noise.batched import BatchedTrajectoryEngine
+
+            engine = BatchedTrajectoryEngine(physical, self.noise_model, program=self.program_for(physical))
+            for start in range(0, num_trajectories, batch_size):
+                chunk = streams[start : start + batch_size]
+                result.fidelities.extend(engine.run_fidelities(chunk, sampler))
+            return result
+        for stream in streams:
+            initial = sampler(stream)
             ideal = self.run_ideal(physical, initial)
-            noisy = self.run_trajectory(physical, initial)
+            noisy = self.run_trajectory(physical, initial, rng=stream)
             result.fidelities.append(fidelity(ideal, noisy))
         return result
 
@@ -233,8 +195,11 @@ def simulate_fidelity(
     noise_model: NoiseModel | None = None,
     num_trajectories: int = 100,
     rng: np.random.Generator | int | None = None,
+    batch_size: int | None = None,
 ) -> TrajectoryResult:
     """Convenience wrapper: average noisy fidelity of a compiled circuit."""
     physical = compiled.physical_circuit if isinstance(compiled, CompilationResult) else compiled
     simulator = TrajectorySimulator(noise_model=noise_model, rng=rng)
-    return simulator.average_fidelity(physical, num_trajectories=num_trajectories)
+    return simulator.average_fidelity(
+        physical, num_trajectories=num_trajectories, batch_size=batch_size
+    )

@@ -132,3 +132,44 @@ class TestCompilationStructure:
         assert result.num_ops == len(result.physical_circuit)
         assert result.duration_ns > 0
         assert result.op_counts()
+
+
+class TestBoostSameTypePairs:
+    def test_boost_applied_once_per_pair(self):
+        from repro.core.compiler import _boost_same_type_pairs
+
+        circuit = QuantumCircuit(4)
+        for _ in range(5):
+            circuit.ccx(0, 1, 2)
+        weights = {(0, 1): 2.0}
+        boosted = _boost_same_type_pairs(circuit, weights, factor=3.0)
+        # One boost relative to the base weight, regardless of how many
+        # gates share the pair: 2.0 * 3.0 + 1.0, not O(3**5).
+        assert boosted[(0, 1)] == pytest.approx(7.0)
+
+    def test_repeated_cswap_targets_do_not_blow_up(self):
+        from repro.core.compiler import _boost_same_type_pairs
+
+        circuit = QuantumCircuit(3)
+        for _ in range(8):
+            circuit.cswap(0, 1, 2)
+        boosted = _boost_same_type_pairs(circuit, {(1, 2): 1.0}, factor=3.0)
+        assert boosted[(1, 2)] == pytest.approx(4.0)
+
+    def test_unseen_pair_gets_base_boost(self):
+        from repro.core.compiler import _boost_same_type_pairs
+
+        from repro.circuits.gate import Gate
+
+        circuit = QuantumCircuit(3)
+        circuit.append(Gate("CCZ", (0, 1, 2)))
+        boosted = _boost_same_type_pairs(circuit, {}, factor=3.0)
+        assert boosted[(0, 1)] == pytest.approx(1.0)
+
+    def test_other_weights_untouched(self):
+        from repro.core.compiler import _boost_same_type_pairs
+
+        circuit = QuantumCircuit(4)
+        circuit.ccx(0, 1, 2)
+        boosted = _boost_same_type_pairs(circuit, {(2, 3): 5.0}, factor=3.0)
+        assert boosted[(2, 3)] == 5.0

@@ -71,7 +71,7 @@ class TestCoherenceEps:
         )
         circuit.append(
             PhysicalOp(
-                label="ENC_dg", logical_name="ENC", devices=(0,), operand_slots=((0, 0),),
+                label="ENC_dg", logical_name="ENC_dg", devices=(0,), operand_slots=((0, 0),),
                 duration_ns=100.0, error_rate=0.0, gate_class=GateClass.ENCODE,
                 sets_mode=((0, 1),),
             )

@@ -1,5 +1,6 @@
 """Unit tests for the op emitter and the SWAP router."""
 
+import numpy as np
 import pytest
 
 from repro.circuits.gate import Gate
@@ -86,11 +87,18 @@ class TestEmitterDataMovement:
         home = emitter.placement.slot_of(1)
         enc = emitter.emit_encode(1, host_device=0)
         assert enc.gate_class is GateClass.ENCODE
+        assert enc.logical_name == "ENC"
         assert emitter.placement.slot_of(1) == Slot(0, 0)
         assert emitter.placement.is_encoded(0)
-        emitter.emit_decode(1, home)
+        dec = emitter.emit_decode(1, home)
         assert emitter.placement.slot_of(1) == home
         assert physical.count_by_class()[GateClass.ENCODE] == 2
+        # ENC and ENC† are distinguishable by logical name (both implement a
+        # SWAP unitary, which is its own inverse).
+        assert dec.logical_name == "ENC_dg"
+        by_logical_name = {op.logical_name for op in physical.ops}
+        assert {"ENC", "ENC_dg"} <= by_logical_name
+        assert np.allclose(enc.logical_unitary(), dec.logical_unitary())
 
     def test_encode_requires_free_slot(self):
         placement = Placement({0: Slot(0, 0), 1: Slot(0, 1), 2: Slot(1, 1)})
@@ -183,3 +191,71 @@ class TestRouter:
         pair = router.route_three_dense((0, 2, 5))
         assert emitter.placement.device_of(pair[0]) == emitter.placement.device_of(pair[1])
         assert router.dense_three_executable((0, 2, 5))
+
+
+class TestDenseIntraQuquartCandidates:
+    """Regression tests for the dense-mode partner-slot candidates.
+
+    The module docstring promises candidate SWAPs with "the partner slot of
+    the same ququart"; dense routing must enumerate them and use the cheap
+    78 ns internal SWAP when reorienting encoded slots buys a faster native
+    three-qubit pulse.
+    """
+
+    def _dense_router(self, placement, num_devices=2, num_qubits=3):
+        device = Device.mesh(num_devices)
+        physical = PhysicalCircuit(num_devices, device_dims=4, num_logical_qubits=num_qubits)
+        emitter = OpEmitter(GateSet(), placement, physical)
+        router = Router(device, emitter, {}, dense=True)
+        return router, emitter, physical
+
+    def test_candidates_include_partner_slot(self):
+        placement = Placement({0: Slot(0, 1), 1: Slot(1, 1), 2: Slot(1, 0)})
+        router, _, _ = self._dense_router(placement)
+        candidates = router._candidate_swaps((0, 1, 2))
+        intra = [(a, b) for a, b in candidates if a.device == b.device]
+        assert (Slot(0, 1), Slot(0, 0)) in intra or (Slot(0, 0), Slot(0, 1)) in intra
+        assert any(a.device == 1 for a, b in intra)
+
+    def test_sparse_mode_has_no_intra_candidates(self):
+        device = Device.mesh(3)
+        placement = Placement.one_per_device(3)
+        physical = PhysicalCircuit(3, device_dims=4, num_logical_qubits=3)
+        emitter = OpEmitter(GateSet(), placement, physical)
+        router = Router(device, emitter, {}, dense=False)
+        candidates = router._candidate_swaps((0, 1, 2))
+        assert all(a.device != b.device for a, b in candidates)
+
+    def test_orientation_uses_cheaper_internal_swap(self):
+        # CCX with split controls: lone control in slot 1 (sharing its
+        # ququart with a spectator qubit), the co-located (control, target)
+        # pair in slots (1, 0) — the native pulse would be CCX1,10 at 785 ns.
+        # An internal SWAP-in (78 ns) flips the pair to (0, 1), reaching
+        # CCX1,01 at 680 ns: 758 ns total, strictly cheaper.
+        placement = Placement(
+            {0: Slot(0, 1), 1: Slot(1, 1), 2: Slot(1, 0), 3: Slot(0, 0)}
+        )
+        router, emitter, physical = self._dense_router(placement, num_qubits=4)
+        gate = Gate("CCX", (0, 1, 2))
+        router.route_three_dense(gate.qubits, gate=gate)
+        op = emitter.emit_three_qubit_native(gate)
+
+        labels = [recorded.label for recorded in physical.ops]
+        assert "SWAP-in" in labels, labels
+        assert op.label == "CCX1,01"
+        assert op.duration_ns == 680.0
+        total = sum(recorded.duration_ns for recorded in physical.ops)
+        assert total == pytest.approx(78.0 + 680.0)
+        assert total < 785.0  # the pulse the old router was forced into
+
+    def test_orientation_skips_break_even_reorientations(self):
+        # CCZ orientations differ by exactly the SWAP-in duration (78 ns),
+        # so reorienting never strictly pays and no internal SWAP is emitted.
+        placement = Placement(
+            {0: Slot(0, 1), 1: Slot(1, 1), 2: Slot(1, 0), 3: Slot(0, 0)}
+        )
+        router, emitter, physical = self._dense_router(placement, num_qubits=4)
+        gate = Gate("CCZ", (0, 1, 2))
+        router.route_three_dense(gate.qubits, gate=gate)
+        emitter.emit_three_qubit_native(gate)
+        assert all(recorded.label != "SWAP-in" for recorded in physical.ops)

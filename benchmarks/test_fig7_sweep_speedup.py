@@ -24,7 +24,6 @@ batching cannot buy wall-clock.  The structured-kernel win on such a point
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
@@ -151,11 +150,17 @@ def _run_seed_style_sweep():
     return means
 
 
-def test_fig7_sweep_speedup(once, benchmark):
+def test_fig7_sweep_speedup(once, benchmark, speedup_gate, bench_artifact_dir):
     start = time.perf_counter()
     baseline = _run_seed_style_sweep()
     baseline_seconds = time.perf_counter() - start
 
+    artifacts = {}
+    if bench_artifact_dir is not None:
+        artifacts = {
+            "csv_path": bench_artifact_dir / "fig7_sweep.csv",
+            "json_path": bench_artifact_dir / "fig7_sweep.json",
+        }
     start = time.perf_counter()
     evaluations = once(
         benchmark,
@@ -165,7 +170,7 @@ def test_fig7_sweep_speedup(once, benchmark):
         num_trajectories=NUM_TRAJECTORIES,
         simulate_mixed_radix_up_to=MIXED_RADIX_CEILING,
         rng=0,
-        runner=SweepRunner(max_workers=1),
+        runner=SweepRunner(max_workers=1, **artifacts),
     )
     batched_seconds = time.perf_counter() - start
 
@@ -203,9 +208,9 @@ def test_fig7_sweep_speedup(once, benchmark):
         compared += 1
     assert compared > 0
 
-    gate = float(os.environ.get("REPRO_SPEEDUP_GATE", "5.0"))
-    assert speedup >= gate, (
-        f"expected >= {gate}x over the seed per-trajectory pipeline, got {speedup:.2f}x"
+    assert speedup >= speedup_gate, (
+        f"expected >= {speedup_gate}x over the seed per-trajectory pipeline, "
+        f"got {speedup:.2f}x"
     )
 
 

@@ -1,0 +1,87 @@
+"""Wall-clock speedup of the multi-core trajectory runner (ISSUE 2 gate).
+
+A few-point/large-register slice of the Figure 7 grid — the regime where
+PR 1's point-level fan-out leaves most cores idle on one
+memory-bandwidth-bound statevector.  Baseline: the PR 1 single-core path
+(``SweepRunner(max_workers=1)``, no trajectory-level parallelism).
+Contender: the same grid with trajectory-level scheduling, every point's
+trajectories fanned across all CPUs.
+
+The per-point fidelities must be *bit-for-bit identical* between the two
+runs (the per-trajectory RNG streams make them a pure function of seed and
+trajectory index); the wall-clock assertion is gated by
+``REPRO_PARALLEL_SPEEDUP_GATE`` — >= 2x by default on runners with at least
+four CPUs, report-only below that (a single-core machine has nothing to
+parallelize onto).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.fidelity_sweep import fidelity_sweep_points
+from repro.experiments.sweep import SweepRunner
+
+WORKLOADS = ("qram",)
+SIZES = (7,)
+STRATEGIES = None  # all six Figure 7 strategies
+NUM_TRAJECTORIES = 12
+
+
+def _grid():
+    return fidelity_sweep_points(
+        workloads=WORKLOADS,
+        sizes=SIZES,
+        strategies=STRATEGIES,
+        num_trajectories=NUM_TRAJECTORIES,
+        rng=0,
+    )
+
+
+def test_parallel_trajectory_speedup(once, benchmark, parallel_speedup_gate, bench_artifact_dir):
+    cpus = os.cpu_count() or 1
+
+    start = time.perf_counter()
+    single = SweepRunner(max_workers=1, trajectory_workers=None).run(_grid())
+    single_seconds = time.perf_counter() - start
+
+    artifacts = {}
+    if bench_artifact_dir is not None:
+        artifacts = {
+            "csv_path": bench_artifact_dir / "parallel_sweep.csv",
+            "json_path": bench_artifact_dir / "parallel_sweep.json",
+        }
+    # Force trajectory-level scheduling (an explicit worker count, not
+    # "auto") so this benchmark always exercises the multi-core runner it
+    # gates, whatever the runner's CPU count relative to the grid width.
+    trajectory_workers = cpus if cpus > 1 else None
+    runner = SweepRunner(
+        max_workers=cpus, trajectory_workers=trajectory_workers, **artifacts
+    )
+    start = time.perf_counter()
+    parallel = once(benchmark, runner.run, _grid())
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = single_seconds / max(parallel_seconds, 1e-9)
+    print(
+        f"\nFig. 7 few-point slice ({WORKLOADS} x sizes {SIZES} x 6 strategies, "
+        f"{NUM_TRAJECTORIES} trajectories per point) on {cpus} CPUs:"
+    )
+    print(f"  single-core (PR 1 path):  {single_seconds:6.2f} s")
+    print(f"  multi-core runner:        {parallel_seconds:6.2f} s")
+    print(f"  speedup:                  {speedup:6.2f} x")
+
+    # Correctness first: worker count must never move a single bit.
+    assert len(single) == len(parallel)
+    for reference, contender in zip(single, parallel):
+        if reference.simulation is None:
+            assert contender.simulation is None
+            continue
+        assert contender.simulation.fidelities == reference.simulation.fidelities
+
+    if parallel_speedup_gate > 0.0:
+        assert speedup >= parallel_speedup_gate, (
+            f"expected >= {parallel_speedup_gate}x over the single-core path "
+            f"on {cpus} CPUs, got {speedup:.2f}x"
+        )

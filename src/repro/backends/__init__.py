@@ -1,0 +1,108 @@
+"""Pluggable array backends for the statevector kernel layer.
+
+The trajectory kernels (:mod:`repro.noise.program`) and the vectorized
+engine (:mod:`repro.noise.batched`) dispatch every array operation through an
+:class:`~repro.backends.base.ArrayBackend`:
+
+* ``numpy`` — the host reference implementation, always available; routing
+  through it is bit-for-bit identical to the pre-backend hard-coded path,
+* ``cupy`` / ``torch`` — optional accelerator adapters, auto-detected and
+  reported unavailable (never import errors at module scope) when the
+  library is absent.
+
+Selection: an explicit ``backend=`` argument wins, then the
+``REPRO_BACKEND`` environment variable, then the numpy default.  Backend
+instances are cached per name — kernels share one instance (and therefore
+one host→device constant cache) per process.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backends.base import ArrayBackend, BackendUnavailable
+from repro.backends.cupy_backend import CupyBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.torch_backend import TorchBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailable",
+    "CupyBackend",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "build_backend",
+    "get_backend",
+    "is_registered",
+    "resolve_backend",
+]
+
+#: Environment variable naming the default backend for this process.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_REGISTRY: dict[str, type[ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "cupy": CupyBackend,
+    "torch": TorchBackend,
+}
+
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends whose libraries import on this machine."""
+    return tuple(name for name, cls in _REGISTRY.items() if cls.is_available())
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """Return the backend instance for ``name`` (cached per process).
+
+    ``None`` falls back to ``$REPRO_BACKEND``, then to ``"numpy"``.  Unknown
+    names raise ``ValueError`` listing the registry; known-but-uninstalled
+    backends raise :class:`BackendUnavailable` with install guidance.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+    name = name.strip().lower()
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown array backend {name!r}; known backends: {sorted(_REGISTRY)}, "
+            f"available here: {list(available_backends())}"
+        )
+    instance = cls()
+    _INSTANCES[name] = instance
+    return instance
+
+
+def resolve_backend(backend: ArrayBackend | str | None) -> ArrayBackend:
+    """Coerce an ``ArrayBackend | str | None`` argument to an instance."""
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return get_backend(backend)
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` can be rebuilt from the registry (worker processes)."""
+    return name in _REGISTRY
+
+
+def build_backend(name: str, kwargs: dict | None = None) -> ArrayBackend:
+    """Rebuild a backend from a :meth:`ArrayBackend.spawn_spec` in a worker.
+
+    Specs without constructor kwargs reuse the process-cached instance;
+    parameterized specs construct a fresh instance so worker state (device
+    selection, caches) matches the parent's configuration exactly.
+    """
+    if not kwargs:
+        return get_backend(name)
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown array backend {name!r}; known backends: {sorted(_REGISTRY)}"
+        )
+    return cls(**kwargs)

@@ -24,7 +24,7 @@ import csv
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -54,7 +54,13 @@ _AUTO_BATCH_DIM_LIMIT = 1 << 16
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One point of a sweep grid, fully described by picklable values."""
+    """One point of a sweep grid, fully described by picklable values.
+
+    ``workers`` fans this point's *trajectories* across processes (see
+    ``TrajectorySimulator.average_fidelity``); results are bit-for-bit
+    independent of the value.  ``None`` leaves the count to the runner's
+    scheduling (point-level fan-out keeps it at 1).
+    """
 
     workload: str
     size: int
@@ -66,6 +72,7 @@ class SweepPoint:
     batch_size: int | str | None = "auto"
     axis: float | None = None  # the swept value, carried through to results
     workload_kwargs: tuple[tuple[str, Any], ...] = ()
+    workers: int | None = None  # trajectory-level processes for this point
 
     @property
     def strategy_enum(self) -> Strategy:
@@ -120,6 +127,7 @@ def evaluate_point(point: SweepPoint) -> StrategyEvaluation:
             physical,
             num_trajectories=point.num_trajectories,
             batch_size=_resolve_batch_size(point, hilbert_dim),
+            workers=point.workers,
         )
     return StrategyEvaluation(
         circuit_name=compilation.logical_circuit.name,
@@ -144,6 +152,18 @@ class SweepRunner:
     runs inline (sharing the in-process compilation cache), which is also the
     fallback whenever process pools are unavailable.  Results always come
     back in input order.
+
+    Two levels of parallelism are scheduled per grid: *point-level* fan-out
+    (one process per point, the PR-1 behavior) suits wide grids of small
+    registers, while *trajectory-level* fan-out (points evaluated one at a
+    time, each point's trajectories split across all workers via
+    ``SweepPoint.workers``) suits few-point/large-register grids, where
+    point fan-out would leave most cores idle on one memory-bandwidth-bound
+    statevector.  ``trajectory_workers="auto"`` (the default) picks
+    trajectory-level scheduling whenever the grid has fewer simulated points
+    than workers; an integer forces that many trajectory processes per
+    point; ``None``/1 disables the mode.  Either way the per-point results
+    are bit-for-bit identical — scheduling only moves wall-clock.
     """
 
     def __init__(
@@ -151,10 +171,16 @@ class SweepRunner:
         max_workers: int | None = None,
         csv_path: str | Path | None = None,
         json_path: str | Path | None = None,
+        trajectory_workers: int | str | None = "auto",
     ):
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         if self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if isinstance(trajectory_workers, int) and trajectory_workers < 1:
+            raise ValueError("trajectory_workers must be at least 1")
+        if isinstance(trajectory_workers, str) and trajectory_workers != "auto":
+            raise ValueError("trajectory_workers must be an int, None or 'auto'")
+        self.trajectory_workers = trajectory_workers
         self.csv_path = Path(csv_path) if csv_path is not None else None
         self.json_path = Path(json_path) if json_path is not None else None
 
@@ -167,11 +193,49 @@ class SweepRunner:
         with ProcessPoolExecutor(max_workers=min(self.max_workers, len(tasks))) as pool:
             return list(pool.map(function, tasks))
 
+    # -- scheduling ---------------------------------------------------------------
+    def schedule(self, points: Sequence[SweepPoint]) -> tuple[list[SweepPoint], bool]:
+        """Choose point- or trajectory-level parallelism for a grid.
+
+        Returns ``(points, trajectory_level)``.  With trajectory-level
+        scheduling the points come back annotated with ``workers`` (explicit
+        per-point values are respected) and must be evaluated inline, one at
+        a time — their trajectories own the process pool instead.
+        """
+        points = list(points)
+        setting = self.trajectory_workers
+        if setting is None or setting == 1:
+            return points, False
+        simulated = sum(1 for p in points if p.num_trajectories > 0)
+        if simulated == 0:
+            return points, False
+        if setting == "auto":
+            # Compare the *simulated* point count: compile-only points finish
+            # in negligible time, so a grid padded with them is still the
+            # few-point regime where point fan-out would idle most cores.
+            if self.max_workers == 1 or simulated >= self.max_workers:
+                return points, False
+            inner = self.max_workers
+        else:
+            inner = setting
+        annotated = [
+            replace(p, workers=inner)
+            if p.num_trajectories > 0 and p.workers is None
+            else p
+            for p in points
+        ]
+        return annotated, True
+
     # -- sweep-point evaluation ---------------------------------------------------
     def run(self, points: Sequence[SweepPoint]) -> list[StrategyEvaluation]:
         """Evaluate every point and write the configured artifacts."""
         points = list(points)
-        evaluations = self.map(evaluate_point, points)
+        scheduled, trajectory_level = self.schedule(points)
+        if trajectory_level:
+            # Points run inline; each point's trajectories fan out instead.
+            evaluations = [evaluate_point(point) for point in scheduled]
+        else:
+            evaluations = self.map(evaluate_point, scheduled)
         if self.csv_path is not None or self.json_path is not None:
             rows = sweep_rows(points, evaluations)
             if self.csv_path is not None:

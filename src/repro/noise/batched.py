@@ -21,6 +21,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backends import resolve_backend
+from repro.backends.base import ArrayBackend
 from repro.core.physical import PhysicalCircuit
 from repro.noise.model import NoiseModel
 from repro.noise.program import (
@@ -41,16 +43,26 @@ __all__ = ["BatchedTrajectoryEngine"]
 
 
 class BatchedTrajectoryEngine:
-    """Evolve batches of statevectors through a compiled trajectory program."""
+    """Evolve batches of statevectors through a compiled trajectory program.
+
+    ``backend`` selects the array library the gate kernels run on (see
+    :mod:`repro.backends`).  On an accelerator backend the ``(batch, dim)``
+    block stays on the device across gate kernels; the scalar stochastic
+    noise decisions always run on the host (they are per-trajectory Python
+    arithmetic over a handful of floats), so the block crosses the host
+    boundary once per noise event, not once per amplitude.
+    """
 
     def __init__(
         self,
         physical: PhysicalCircuit,
         noise_model: NoiseModel | None = None,
         program: TrajectoryProgram | None = None,
+        backend: ArrayBackend | str | None = None,
     ):
         self.physical = physical
         self.noise_model = noise_model or NoiseModel()
+        self.backend = resolve_backend(backend)
         self.program = program or compile_program(physical, self.noise_model)
 
     # -- noise events ------------------------------------------------------------
@@ -111,39 +123,66 @@ class BatchedTrajectoryEngine:
             states[index] = apply_unitary(states[index], error, step.op.devices, dims)
         return states
 
+    # -- host <-> backend --------------------------------------------------------
+    def _to_work(self, states: np.ndarray):
+        """Copy input states into the working block on the backend's device."""
+        states = np.array(states, dtype=np.complex128)
+        if self.backend.host_memory:
+            return states
+        return self.backend.asarray(states)
+
+    def _to_host(self, states) -> np.ndarray:
+        if self.backend.host_memory:
+            return states
+        return self.backend.to_numpy(states)
+
     # -- execution ---------------------------------------------------------------
     def run_ideal(self, states: np.ndarray) -> np.ndarray:
         """Evolve a ``(batch, dim)`` block without noise."""
-        states = np.array(states, dtype=np.complex128)
-        scratch = np.empty_like(states)
+        backend = self.backend
+        states = self._to_work(states)
+        scratch = backend.empty_like(states)
         for step in self.program.ideal_steps:
-            result = apply_kernel_batch(states, step.kernel, self.program.dims, out=scratch)
+            result = apply_kernel_batch(
+                states, step.kernel, self.program.dims, out=scratch, backend=backend
+            )
             if result is scratch:
                 states, scratch = scratch, states
             else:
                 states = result  # in-place kernels return states; others may be fresh
-        return states
+        return self._to_host(states)
 
     def run_trajectories(
         self, states: np.ndarray, streams: Sequence[np.random.Generator]
     ) -> np.ndarray:
         """Evolve a ``(batch, dim)`` block with per-trajectory stochastic noise."""
-        states = np.array(states, dtype=np.complex128)
+        backend = self.backend
         if states.shape[0] != len(streams):
             raise ValueError("need exactly one RNG stream per trajectory")
-        scratch = np.empty_like(states)
+        states = self._to_work(states)
+        scratch = backend.empty_like(states)
         for step in self.program.steps:
             if isinstance(step, GateStep):
-                result = apply_kernel_batch(states, step.kernel, self.program.dims, out=scratch)
+                result = apply_kernel_batch(
+                    states, step.kernel, self.program.dims, out=scratch, backend=backend
+                )
                 if result is scratch:
                     states, scratch = scratch, states
                 else:
                     states = result  # in-place kernels return states; others may be fresh
                 if step.error_dims is not None:
-                    states = self._apply_gate_error(states, step, streams)
+                    states = self._noise_event(self._apply_gate_error, states, step, streams)
             else:
-                states = self._apply_idle(states, step, streams)
-        return states
+                states = self._noise_event(self._apply_idle, states, step, streams)
+        return self._to_host(states)
+
+    def _noise_event(self, apply, states, step, streams):
+        """Run one host-side noise helper, round-tripping device blocks."""
+        if self.backend.host_memory:
+            return apply(states, step, streams)
+        host = self.backend.to_numpy(states)
+        host = apply(host, step, streams)
+        return self.backend.asarray(host)
 
     def run_fidelities(
         self,

@@ -23,6 +23,20 @@ variant built from the *same element-wise operations*, so a batched run
 reproduces the loop run bit for bit when fed the same per-trajectory RNG
 streams.  Because both executors consume the same compiled program, kernel
 selection can never make the two paths disagree.
+
+Two extensions sit on top of the classification:
+
+* **backend dispatch** — every array operation of both kernel variants goes
+  through an :class:`~repro.backends.base.ArrayBackend` (default: the numpy
+  reference backend, selected via ``$REPRO_BACKEND``); the numpy backend
+  maps each primitive to the identical numpy call, so the default path is
+  unchanged bit for bit,
+* **monomial fusion** — at compile time, runs of consecutive
+  diag/perm/monomial kernels collapse into one gather-multiply
+  (``"fused"``).  Fusion only composes phases when the rounding is provably
+  unchanged (at most one member of a run carries phases outside
+  ``{±1, ±i}``; multiplication by those units is exact in IEEE arithmetic),
+  so a fused program is bit-for-bit equal to its unfused counterpart.
 """
 
 from __future__ import annotations
@@ -31,9 +45,10 @@ import math
 from dataclasses import dataclass, field
 import numpy as np
 
+from repro.backends import get_backend
+from repro.backends.base import ArrayBackend
 from repro.core.physical import PhysicalCircuit, PhysicalOp
 from repro.noise.model import NoiseModel
-from repro.qudit.states import apply_unitary, apply_unitary_batch
 from repro.qudit.unitaries import embed_qubit_unitary
 
 __all__ = [
@@ -56,6 +71,18 @@ _MAX_GATHER_ENTRIES = 256
 #: bit-for-bit identical to the scalar kernel.
 _GENERIC_BATCH_ELEMENT_LIMIT = 1 << 20
 
+#: Largest number of materialized fused kernels per program.  Each fused
+#: kernel owns one full-register gather index (and possibly a full-register
+#: phase array); runs beyond the cap simply stay unfused, which is the same
+#: arithmetic executed in more steps.
+_MAX_FUSED_ENTRIES = 128
+
+#: Unit phases whose complex multiplication is exact in IEEE double
+#: arithmetic (a sign flip and/or a real/imaginary component swap).  Runs
+#: containing at most one kernel with phases outside this set may be fused
+#: without changing any rounding (see `_fuse_gate_runs`).
+_EXACT_UNIT_PHASES = (1.0 + 0.0j, -1.0 + 0.0j, 1.0j, -1.0j)
+
 
 # ---------------------------------------------------------------------------
 # kernel classification
@@ -64,13 +91,19 @@ _GENERIC_BATCH_ELEMENT_LIMIT = 1 << 20
 
 @dataclass
 class _Kernel:
-    """How to apply one unitary to the register, scalar or batched."""
+    """How to apply one unitary to the register, scalar or batched.
 
-    kind: str  # "diag" | "perm" | "monomial" | "single" | "generic"
-    unitary: np.ndarray
+    ``"fused"`` kernels (built by compile-time monomial fusion, never by
+    classification) carry a *flat* full-register gather index and an optional
+    *flat* full-register phase array instead of the broadcast-ready phases of
+    ``"diag"``/``"monomial"``; their ``unitary`` is ``None``.
+    """
+
+    kind: str  # "diag" | "perm" | "monomial" | "fused" | "single" | "generic"
+    unitary: np.ndarray | None
     targets: tuple[int, ...]
-    index: np.ndarray | None = None  # full-register gather (perm / monomial)
-    phase: np.ndarray | None = None  # broadcast-ready phases (diag / monomial)
+    index: np.ndarray | None = None  # full-register gather (perm / monomial / fused)
+    phase: np.ndarray | None = None  # phases: broadcast-ready, or flat for "fused"
     reshape: tuple[int, int, int] | None = None  # (left, d, right) for "single"
 
 
@@ -176,30 +209,63 @@ def _classify(
 # ---------------------------------------------------------------------------
 
 
-def apply_kernel(state: np.ndarray, kernel: _Kernel, dims: tuple[int, ...]) -> np.ndarray:
-    """Apply a classified unitary to one flat statevector."""
+def apply_kernel(
+    state,
+    kernel: _Kernel,
+    dims: tuple[int, ...],
+    backend: ArrayBackend | None = None,
+) -> np.ndarray:
+    """Apply a classified unitary to one flat statevector.
+
+    ``backend`` selects the array library the primitives run on (default:
+    the process backend from :func:`repro.backends.get_backend`); the numpy
+    backend reproduces the historical hard-coded numpy path bit for bit.
+    """
+    if backend is None:
+        backend = get_backend()
     if kernel.kind == "diag":
         if kernel.phase is None:
-            return state.copy()
-        return (state.reshape(dims) * kernel.phase).reshape(-1)
+            return backend.copy(state)
+        phase = backend.constant(kernel.phase)
+        return backend.reshape(
+            backend.multiply(backend.reshape(state, dims), phase), (-1,)
+        )
     if kernel.kind == "perm":
-        return state[kernel.index]
+        return backend.take(state, backend.constant(kernel.index))
     if kernel.kind == "monomial":
-        gathered = state[kernel.index]
-        return (gathered.reshape(dims) * kernel.phase).reshape(-1)
+        gathered = backend.take(state, backend.constant(kernel.index))
+        return backend.reshape(
+            backend.multiply(
+                backend.reshape(gathered, dims), backend.constant(kernel.phase)
+            ),
+            (-1,),
+        )
+    if kernel.kind == "fused":
+        gathered = backend.take(state, backend.constant(kernel.index))
+        if kernel.phase is None:
+            return gathered
+        return backend.multiply(gathered, backend.constant(kernel.phase))
     if kernel.kind == "single":
         left, d, right = kernel.reshape
-        return np.einsum(
-            "ij,ljr->lir", kernel.unitary, state.reshape(left, d, right)
-        ).reshape(-1)
-    return apply_unitary(state, kernel.unitary, kernel.targets, dims)
+        return backend.reshape(
+            backend.einsum(
+                "ij,ljr->lir",
+                backend.constant(kernel.unitary),
+                backend.reshape(state, (left, d, right)),
+            ),
+            (-1,),
+        )
+    return backend.apply_unitary(
+        state, backend.constant(kernel.unitary), kernel.targets, dims
+    )
 
 
 def apply_kernel_batch(
-    states: np.ndarray,
+    states,
     kernel: _Kernel,
     dims: tuple[int, ...],
-    out: np.ndarray | None = None,
+    out=None,
+    backend: ArrayBackend | None = None,
 ) -> np.ndarray:
     """Apply a classified unitary to a ``(batch, dim)`` block.
 
@@ -207,7 +273,7 @@ def apply_kernel_batch(
     gathers and broadcast multiplies are element-wise identical, the batched
     einsum contracts each row exactly like the scalar einsum, and the generic
     GEMM falls back to per-row application above a size threshold (below it,
-    ``apply_unitary_batch`` performs the identical per-slice GEMM).
+    the batched dense apply performs the identical per-slice GEMM).
 
     ``out``, when given, is a scratch block of the same shape: kernels that
     cannot work in place write into it and return it, everything else
@@ -215,54 +281,71 @@ def apply_kernel_batch(
     avoids re-faulting tens of megabytes of fresh pages on every op, which
     dominates the wall-clock of large registers.
     """
+    if backend is None:
+        backend = get_backend()
     batch = states.shape[0]
+    elements = batch * states.shape[1]
     if kernel.kind == "diag":
         if kernel.phase is not None:
-            tensor = states.reshape((batch,) + dims)
-            np.multiply(tensor, kernel.phase[None], out=tensor)
+            tensor = backend.reshape(states, (batch,) + dims)
+            phase = backend.constant(kernel.phase)
+            backend.multiply(
+                tensor, backend.reshape(phase, (1,) + kernel.phase.shape), out=tensor
+            )
         return states
-    if kernel.kind in ("perm", "monomial"):
+    if kernel.kind in ("perm", "monomial", "fused"):
         if out is None:
-            out = np.empty_like(states)
-        if states.size <= _GENERIC_BATCH_ELEMENT_LIMIT:
-            np.take(states, kernel.index, axis=1, out=out)
+            out = backend.empty_like(states)
+        index = backend.constant(kernel.index)
+        if elements <= _GENERIC_BATCH_ELEMENT_LIMIT:
+            backend.take_batch(states, index, out=out)
         else:
-            # Row-wise gathers: np.take along axis 1 iterates index-outer /
+            # Row-wise gathers: a take along axis 1 iterates index-outer /
             # batch-inner on big blocks, which thrashes the cache.
-            for index in range(batch):
-                np.take(states[index], kernel.index, out=out[index])
+            for row in range(batch):
+                backend.take(states[row], index, out=out[row])
         if kernel.phase is not None:
-            tensor = out.reshape((batch,) + dims)
-            np.multiply(tensor, kernel.phase[None], out=tensor)
+            phase = backend.constant(kernel.phase)
+            if kernel.kind == "fused":
+                backend.multiply(
+                    out, backend.reshape(phase, (1, -1)), out=out
+                )
+            else:
+                tensor = backend.reshape(out, (batch,) + dims)
+                backend.multiply(
+                    tensor, backend.reshape(phase, (1,) + kernel.phase.shape), out=tensor
+                )
         return out
     if kernel.kind == "single":
         left, d, right = kernel.reshape
         if out is None:
-            out = np.empty_like(states)
-        if states.size <= _GENERIC_BATCH_ELEMENT_LIMIT:
-            np.einsum(
+            out = backend.empty_like(states)
+        unitary = backend.constant(kernel.unitary)
+        if elements <= _GENERIC_BATCH_ELEMENT_LIMIT:
+            backend.einsum(
                 "ij,bljr->blir",
-                kernel.unitary,
-                states.reshape(batch, left, d, right),
-                out=out.reshape(batch, left, d, right),
+                unitary,
+                backend.reshape(states, (batch, left, d, right)),
+                out=backend.reshape(out, (batch, left, d, right)),
             )
         else:
             # Per-row einsum: the batched contraction picks a poor loop order
             # on huge tensors; each row is the scalar kernel verbatim.
-            for index in range(batch):
-                np.einsum(
+            for row in range(batch):
+                backend.einsum(
                     "ij,ljr->lir",
-                    kernel.unitary,
-                    states[index].reshape(left, d, right),
-                    out=out[index].reshape(left, d, right),
+                    unitary,
+                    backend.reshape(states[row], (left, d, right)),
+                    out=backend.reshape(out[row], (left, d, right)),
                 )
         return out
-    if states.size <= _GENERIC_BATCH_ELEMENT_LIMIT:
-        return apply_unitary_batch(states, kernel.unitary, kernel.targets, dims)
+    unitary = backend.constant(kernel.unitary)
+    if elements <= _GENERIC_BATCH_ELEMENT_LIMIT:
+        return backend.apply_unitary_batch(states, unitary, kernel.targets, dims)
     if out is None:
-        out = np.empty_like(states)
-    for index in range(batch):
-        out[index] = apply_unitary(states[index], kernel.unitary, kernel.targets, dims)
+        out = backend.empty_like(states)
+    for row in range(batch):
+        out[row] = backend.apply_unitary(states[row], unitary, kernel.targets, dims)
     return out
 
 
@@ -304,7 +387,9 @@ class TrajectoryProgram:
     ideal_steps: list[GateStep] = field(default_factory=list)
 
 
-def compile_program(physical: PhysicalCircuit, noise_model: NoiseModel) -> TrajectoryProgram:
+def compile_program(
+    physical: PhysicalCircuit, noise_model: NoiseModel, fuse: bool = True
+) -> TrajectoryProgram:
     """Flatten a physical circuit and a noise model into a trajectory program.
 
     The event sequence fixes the per-trajectory RNG consumption order: per
@@ -312,6 +397,11 @@ def compile_program(physical: PhysicalCircuit, noise_model: NoiseModel) -> Traje
     sat idle (in device order of the op), then the op with its optional
     depolarizing draw, and trailing idle events for every device after the
     last op.  ``ideal_steps`` replays the plain op list without noise.
+
+    ``fuse=True`` (the default) collapses runs of consecutive
+    diag/perm/monomial kernels into single fused gather-multiplies wherever
+    that provably changes no rounding; a fused program is bit-for-bit
+    equivalent to the unfused one on both executors.
     """
     dims = tuple(physical.device_dims)
     program = TrajectoryProgram(physical=physical, noise_model=noise_model, dims=dims)
@@ -372,7 +462,137 @@ def compile_program(physical: PhysicalCircuit, noise_model: NoiseModel) -> Traje
 
     for op in physical.ops:
         program.ideal_steps.append(GateStep(op=op, kernel=kernel_for(op)))
+
+    if fuse:
+        fuser = _Fuser(dims)
+        program.steps = _fuse_gate_runs(program.steps, fuser)
+        program.ideal_steps = _fuse_gate_runs(program.ideal_steps, fuser)
     return program
+
+
+# ---------------------------------------------------------------------------
+# compile-time monomial fusion
+# ---------------------------------------------------------------------------
+
+#: Kernel kinds that may participate in a fused run.
+_FUSABLE_KINDS = ("diag", "perm", "monomial")
+
+
+def _phases_are_exact_units(phase: np.ndarray | None) -> bool:
+    """Whether every phase is in ``{±1, ±i}`` (multiplication is then exact)."""
+    if phase is None:
+        return True
+    flat = phase.reshape(-1)
+    exact = np.zeros(flat.shape, dtype=bool)
+    for unit in _EXACT_UNIT_PHASES:
+        exact |= flat == unit
+    return bool(np.all(exact))
+
+
+class _Fuser:
+    """Builds fused kernels for runs of monomial-family steps, memoized.
+
+    Identical runs (same member kernel objects, which the per-program kernel
+    cache already shares between repeated ops and between ``steps`` and
+    ``ideal_steps``) fuse once.  At most :data:`_MAX_FUSED_ENTRIES` fused
+    kernels are materialized per program; later runs stay unfused, which is
+    the same arithmetic executed in more steps.
+    """
+
+    def __init__(self, dims: tuple[int, ...]):
+        self.dims = dims
+        self.budget = _MAX_FUSED_ENTRIES
+        self.cache: dict[tuple[int, ...], _Kernel] = {}
+
+    def fuse(self, members: list[_Kernel]) -> _Kernel | None:
+        key = tuple(id(kernel) for kernel in members)
+        fused = self.cache.get(key)
+        if fused is not None:
+            return fused
+        if self.budget <= 0:
+            return None
+        self.budget -= 1
+        fused = self._build(members)
+        self.cache[key] = fused
+        return fused
+
+    def _build(self, members: list[_Kernel]) -> _Kernel:
+        dims = self.dims
+        targets = tuple(sorted({t for kernel in members for t in kernel.targets}))
+        if all(kernel.index is None for kernel in members):
+            # A pure-diagonal run composes in broadcast space (no gather, and
+            # the composed phase tensor only spans the touched axes).
+            phase = None
+            for kernel in members:
+                if kernel.phase is not None:
+                    phase = kernel.phase if phase is None else phase * kernel.phase
+            return _Kernel("diag", None, targets, phase=phase)
+        index: np.ndarray | None = None
+        phase: np.ndarray | None = None
+        for kernel in members:
+            if kernel.index is not None:
+                index = kernel.index.copy() if index is None else index[kernel.index]
+                if phase is not None:
+                    phase = phase[kernel.index]
+            if kernel.phase is not None:
+                flat = np.ascontiguousarray(np.broadcast_to(kernel.phase, dims)).reshape(-1)
+                phase = flat if phase is None else phase * flat
+        return _Kernel("fused", None, targets, index=index, phase=phase)
+
+
+def _fuse_gate_runs(
+    steps: list[GateStep | IdleStep], fuser: _Fuser
+) -> list[GateStep | IdleStep]:
+    """Collapse runs of consecutive monomial-family gate steps.
+
+    A run ends at any idle event, at any non-monomial kernel, and right
+    after a step that draws a depolarizing error (the draw consumes RNG
+    between the two unitaries, so fusing across it would change the
+    stochastic stream).  Within a run, at most one member may carry phases
+    outside ``{±1, ±i}``: multiplying by those units is exact, so composing
+    the phases at compile time reproduces the sequential per-step multiplies
+    bit for bit.  Runs that would exceed that rule are split, never
+    approximated.
+    """
+    fused_steps: list[GateStep | IdleStep] = []
+    run: list[GateStep] = []
+    run_has_inexact = False
+
+    def flush() -> None:
+        nonlocal run, run_has_inexact
+        if len(run) >= 2:
+            fused = fuser.fuse([step.kernel for step in run])
+            if fused is None:
+                fused_steps.extend(run)
+            else:
+                last = run[-1]
+                fused_steps.append(
+                    GateStep(
+                        op=last.op,
+                        kernel=fused,
+                        error_dims=last.error_dims,
+                        error_rate=last.error_rate,
+                    )
+                )
+        else:
+            fused_steps.extend(run)
+        run = []
+        run_has_inexact = False
+
+    for step in steps:
+        if isinstance(step, GateStep) and step.kernel.kind in _FUSABLE_KINDS:
+            inexact = not _phases_are_exact_units(step.kernel.phase)
+            if run_has_inexact and inexact:
+                flush()
+            run.append(step)
+            run_has_inexact = run_has_inexact or inexact
+            if step.error_dims is not None:
+                flush()
+        else:
+            flush()
+            fused_steps.append(step)
+    flush()
+    return fused_steps
 
 
 # ---------------------------------------------------------------------------

@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backends import resolve_backend
+from repro.backends.base import ArrayBackend
 from repro.core.compiler import CompilationResult
 from repro.core.encoding import embed_logical_state
 from repro.core.physical import PhysicalCircuit
@@ -76,20 +78,34 @@ class TrajectoryResult:
 
 
 class TrajectorySimulator:
-    """Statevector simulator with stochastic qudit noise."""
+    """Statevector simulator with stochastic qudit noise.
 
-    def __init__(self, noise_model: NoiseModel | None = None, rng: np.random.Generator | int | None = None):
+    ``backend`` selects the array library the gate kernels run on (name or
+    instance, see :mod:`repro.backends`; default honors ``$REPRO_BACKEND``).
+    ``fuse=False`` disables compile-time monomial fusion — results are
+    bit-for-bit identical either way, the knob exists for A/B testing.
+    """
+
+    def __init__(
+        self,
+        noise_model: NoiseModel | None = None,
+        rng: np.random.Generator | int | None = None,
+        backend: ArrayBackend | str | None = None,
+        fuse: bool = True,
+    ):
         self.noise_model = noise_model or NoiseModel()
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        self._programs: dict[tuple[int, int], TrajectoryProgram] = {}
+        self.backend = resolve_backend(backend)
+        self.fuse = fuse
+        self._programs: dict[tuple[int, int, bool], TrajectoryProgram] = {}
 
     # -- program compilation ----------------------------------------------------------
     def program_for(self, physical: PhysicalCircuit) -> TrajectoryProgram:
         """Return the compiled trajectory program for a circuit (memoized)."""
-        key = (id(physical), physical.version)
+        key = (id(physical), physical.version, self.fuse)
         program = self._programs.get(key)
         if program is None:
-            program = compile_program(physical, self.noise_model)
+            program = compile_program(physical, self.noise_model, fuse=self.fuse)
             self._programs.clear()  # one circuit at a time is the common case
             self._programs[key] = program
         return program
@@ -98,10 +114,13 @@ class TrajectorySimulator:
     def run_ideal(self, physical: PhysicalCircuit, initial_state: np.ndarray) -> np.ndarray:
         """Evolve ``initial_state`` through the circuit without any noise."""
         program = self.program_for(physical)
+        backend = self.backend
         state = np.asarray(initial_state, dtype=np.complex128).copy()
+        if not backend.host_memory:
+            state = backend.asarray(state)
         for step in program.ideal_steps:
-            state = apply_kernel(state, step.kernel, program.dims)
-        return state
+            state = apply_kernel(state, step.kernel, program.dims, backend=backend)
+        return state if backend.host_memory else backend.to_numpy(state)
 
     # -- single noisy trajectory ----------------------------------------------------------
     def run_trajectory(
@@ -117,17 +136,32 @@ class TrajectorySimulator:
         """
         rng = rng if rng is not None else self.rng
         program = self.program_for(physical)
+        backend = self.backend
         state = np.asarray(initial_state, dtype=np.complex128).copy()
+        if not backend.host_memory:
+            state = backend.asarray(state)
         for step in program.steps:
             if isinstance(step, GateStep):
-                state = apply_kernel(state, step.kernel, program.dims)
+                state = apply_kernel(state, step.kernel, program.dims, backend=backend)
                 if step.error_dims is not None:
                     error = sample_gate_error(step, program.dims, rng)
                     if error is not None:
-                        state = apply_unitary(state, error, step.op.devices, program.dims)
-            else:
+                        if backend.host_memory:
+                            state = apply_unitary(state, error, step.op.devices, program.dims)
+                        else:
+                            state = backend.apply_unitary(
+                                state, backend.asarray(error), step.op.devices, program.dims
+                            )
+            elif backend.host_memory:
                 state = apply_idle_scalar(state, step, rng)
-        return state
+            else:
+                # The idle decision is scalar host arithmetic; round-trip the
+                # vector for it (accelerator backends pay this only on the
+                # rare idle events of the loop path — sweeps use the batched
+                # engine, which amortizes the same crossing over the block).
+                host = apply_idle_scalar(backend.to_numpy(state), step, rng)
+                state = backend.asarray(host)
+        return state if backend.host_memory else backend.to_numpy(state)
 
     # -- fidelity estimation -------------------------------------------------------------------
     def average_fidelity(
@@ -136,6 +170,7 @@ class TrajectorySimulator:
         num_trajectories: int = 100,
         initial_state_sampler: Callable[[np.random.Generator], np.ndarray] | None = None,
         batch_size: int | None = None,
+        workers: int | str | None = None,
     ) -> TrajectoryResult:
         """Average trajectory fidelity over random input states.
 
@@ -151,31 +186,93 @@ class TrajectorySimulator:
         of ``k`` trajectories to the vectorized
         :class:`~repro.noise.batched.BatchedTrajectoryEngine`, which is
         bit-for-bit equivalent under the same seed.
+
+        ``workers=n`` splits the spawned streams across ``n`` processes
+        (``"auto"``: one per CPU).  Each trajectory still consumes exactly
+        its own stream, so the fidelities are bit-for-bit identical to the
+        ``workers=1`` path for every worker count — only wall-clock changes.
+        Custom ``initial_state_sampler`` callables must be picklable when
+        the platform lacks ``fork`` (the default sampler always works).
         """
         if num_trajectories < 1:
             raise ValueError("need at least one trajectory")
-        sampler = initial_state_sampler or _default_state_sampler(physical)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        from repro.noise.parallel import resolve_workers
+
+        workers = resolve_workers(workers)
         streams = self.rng.spawn(num_trajectories)
-        result = TrajectoryResult()
+        if workers > 1 and num_trajectories > 1:
+            from repro.backends import is_registered
+            from repro.noise.parallel import run_parallel_fidelities
+
+            backend_spec = self.backend.spawn_spec()
+            if not is_registered(backend_spec[0]):
+                import warnings
+
+                warnings.warn(
+                    f"backend {backend_spec[0]!r} is not in the backend registry "
+                    "and cannot be rebuilt in worker processes; running "
+                    "trajectories single-process instead",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                fidelities = run_parallel_fidelities(
+                    physical=physical,
+                    noise_model=self.noise_model,
+                    streams=streams,
+                    sampler=initial_state_sampler,  # None: workers rebuild the default
+                    batch_size=batch_size,
+                    workers=workers,
+                    backend=backend_spec,
+                    fuse=self.fuse,
+                    host_memory=self.backend.host_memory,
+                )
+                return TrajectoryResult(fidelities=fidelities)
+        sampler = initial_state_sampler or _default_state_sampler(physical)
+        return TrajectoryResult(
+            fidelities=self._fidelities_for_streams(physical, streams, sampler, batch_size)
+        )
+
+    def _fidelities_for_streams(
+        self,
+        physical: PhysicalCircuit,
+        streams: Sequence[np.random.Generator],
+        sampler: Callable[[np.random.Generator], np.ndarray],
+        batch_size: int | None,
+    ) -> list[float]:
+        """Per-trajectory fidelities of pre-spawned streams (single process).
+
+        This is the common core of the single-core path and of every worker
+        of the multi-core runner: one stream in, one fidelity out, with the
+        stream consumed identically on the loop and batched paths.
+        """
+        fidelities: list[float] = []
         if batch_size is not None:
-            if batch_size < 1:
-                raise ValueError("batch_size must be at least 1")
             from repro.noise.batched import BatchedTrajectoryEngine
 
-            engine = BatchedTrajectoryEngine(physical, self.noise_model, program=self.program_for(physical))
-            for start in range(0, num_trajectories, batch_size):
+            engine = BatchedTrajectoryEngine(
+                physical,
+                self.noise_model,
+                program=self.program_for(physical),
+                backend=self.backend,
+            )
+            for start in range(0, len(streams), batch_size):
                 chunk = streams[start : start + batch_size]
-                result.fidelities.extend(engine.run_fidelities(chunk, sampler))
-            return result
+                fidelities.extend(engine.run_fidelities(chunk, sampler))
+            return fidelities
         for stream in streams:
             initial = sampler(stream)
             ideal = self.run_ideal(physical, initial)
             noisy = self.run_trajectory(physical, initial, rng=stream)
-            result.fidelities.append(fidelity(ideal, noisy))
-        return result
+            fidelities.append(fidelity(ideal, noisy))
+        return fidelities
 
 
-def _default_state_sampler(physical: PhysicalCircuit) -> Callable[[np.random.Generator], np.ndarray]:
+def _default_state_sampler(
+    physical: PhysicalCircuit,
+) -> Callable[[np.random.Generator], np.ndarray]:
     """Return a sampler producing Haar-random logical states embedded physically."""
     placement = physical.initial_placement
     num_qubits = physical.num_logical_qubits
@@ -196,10 +293,15 @@ def simulate_fidelity(
     num_trajectories: int = 100,
     rng: np.random.Generator | int | None = None,
     batch_size: int | None = None,
+    workers: int | str | None = None,
+    backend: ArrayBackend | str | None = None,
 ) -> TrajectoryResult:
     """Convenience wrapper: average noisy fidelity of a compiled circuit."""
     physical = compiled.physical_circuit if isinstance(compiled, CompilationResult) else compiled
-    simulator = TrajectorySimulator(noise_model=noise_model, rng=rng)
+    simulator = TrajectorySimulator(noise_model=noise_model, rng=rng, backend=backend)
     return simulator.average_fidelity(
-        physical, num_trajectories=num_trajectories, batch_size=batch_size
+        physical,
+        num_trajectories=num_trajectories,
+        batch_size=batch_size,
+        workers=workers,
     )

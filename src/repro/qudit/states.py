@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 __all__ = [
     "MixedRadixState",
+    "UnitaryAxesPlan",
     "apply_unitary",
     "apply_unitary_batch",
     "basis_state",
@@ -30,7 +31,66 @@ __all__ = [
     "index_to_levels",
     "levels_to_index",
     "state_dimension",
+    "unitary_axes_plan",
 ]
+
+
+@dataclass(frozen=True)
+class UnitaryAxesPlan:
+    """Precomputed transpose/reshape plan for applying a unitary to targets.
+
+    Shared by :func:`apply_unitary`, :func:`apply_unitary_batch` and the
+    generic implementations in :mod:`repro.backends.base`, so every array
+    library performs the same axis bookkeeping.
+    """
+
+    perm: tuple[int, ...]  # axes order bringing the targets to the front
+    inverse: tuple[int, ...]  # argsort(perm), undoing the permutation
+    op_dim: int  # product of the target dimensions
+    rest_dim: int  # product of the non-target dimensions (excl. batch)
+    permuted_shape: tuple[int, ...]  # shape after the GEMM, pre-inverse
+
+
+def unitary_axes_plan(
+    targets: Sequence[int], dims: Sequence[int], batch: int | None = None
+) -> UnitaryAxesPlan:
+    """Validate targets and build the axis plan (``batch=None``: one state).
+
+    For a batched plan the batch axis of the ``(batch,) + dims`` tensor is
+    kept immediately after the target axes, matching the layout
+    :func:`apply_unitary_batch` has always used.
+    """
+    dims = tuple(dims)
+    targets = tuple(targets)
+    if len(set(targets)) != len(targets):
+        raise ValueError(f"duplicate target devices: {targets}")
+    for t in targets:
+        if not 0 <= t < len(dims):
+            raise ValueError(f"target {t} out of range for {len(dims)} devices")
+    target_dims = tuple(dims[t] for t in targets)
+    op_dim = math.prod(target_dims)
+    n = len(dims)
+    if batch is None:
+        rest = [axis for axis in range(n) if axis not in targets]
+        perm = tuple(targets) + tuple(rest)
+        permuted_shape = target_dims + tuple(dims[axis] for axis in rest)
+    else:
+        rest = [axis for axis in range(1, n + 1) if axis - 1 not in targets]
+        perm = tuple(t + 1 for t in targets) + (0,) + tuple(rest)
+        permuted_shape = target_dims + (batch,) + tuple(dims[axis - 1] for axis in rest)
+    if batch is None:
+        rest_dims = [dims[axis] for axis in rest]
+    else:
+        rest_dims = [dims[axis - 1] for axis in rest]
+    rest_dim = int(np.prod(rest_dims, dtype=np.int64)) if rest_dims else 1
+    inverse = tuple(int(axis) for axis in np.argsort(perm))
+    return UnitaryAxesPlan(
+        perm=perm,
+        inverse=inverse,
+        op_dim=op_dim,
+        rest_dim=rest_dim,
+        permuted_shape=permuted_shape,
+    )
 
 
 def state_dimension(dims: Sequence[int]) -> int:
@@ -122,33 +182,20 @@ def apply_unitary(
     """
     dims = tuple(dims)
     targets = tuple(targets)
-    if len(set(targets)) != len(targets):
-        raise ValueError(f"duplicate target devices: {targets}")
-    for t in targets:
-        if not 0 <= t < len(dims):
-            raise ValueError(f"target {t} out of range for {len(dims)} devices")
-
-    target_dims = tuple(dims[t] for t in targets)
-    op_dim = math.prod(target_dims)
-    if unitary.shape != (op_dim, op_dim):
+    plan = unitary_axes_plan(targets, dims)
+    if unitary.shape != (plan.op_dim, plan.op_dim):
         raise ValueError(
             f"unitary shape {unitary.shape} does not match target dims "
-            f"{target_dims} (expected {(op_dim, op_dim)})"
+            f"{tuple(dims[t] for t in targets)} (expected {(plan.op_dim, plan.op_dim)})"
         )
 
     tensor = np.asarray(state, dtype=np.complex128).reshape(dims)
-    n = len(dims)
     # Move the target axes to the front, contract, then move them back.
-    rest = [ax for ax in range(n) if ax not in targets]
-    perm = list(targets) + rest
-    tensor = np.transpose(tensor, perm)
-    rest_dim = int(np.prod([dims[ax] for ax in rest], dtype=np.int64)) if rest else 1
-    tensor = tensor.reshape(op_dim, rest_dim)
+    tensor = np.transpose(tensor, plan.perm)
+    tensor = tensor.reshape(plan.op_dim, plan.rest_dim)
     tensor = unitary @ tensor
-    tensor = tensor.reshape(target_dims + tuple(dims[ax] for ax in rest))
-    # Invert the permutation.
-    inverse = np.argsort(perm)
-    tensor = np.transpose(tensor, inverse)
+    tensor = tensor.reshape(plan.permuted_shape)
+    tensor = np.transpose(tensor, plan.inverse)
     return tensor.reshape(-1)
 
 
@@ -172,29 +219,19 @@ def apply_unitary_batch(
     states = np.asarray(states, dtype=np.complex128)
     if states.ndim != 2:
         raise ValueError("states must be a (batch, dim) array")
-    if len(set(targets)) != len(targets):
-        raise ValueError(f"duplicate target devices: {targets}")
-    for t in targets:
-        if not 0 <= t < len(dims):
-            raise ValueError(f"target {t} out of range for {len(dims)} devices")
-    target_dims = tuple(dims[t] for t in targets)
-    op_dim = math.prod(target_dims)
-    if unitary.shape != (op_dim, op_dim):
+    batch = states.shape[0]
+    plan = unitary_axes_plan(targets, dims, batch=batch)
+    if unitary.shape != (plan.op_dim, plan.op_dim):
         raise ValueError(
             f"unitary shape {unitary.shape} does not match target dims "
-            f"{target_dims} (expected {(op_dim, op_dim)})"
+            f"{tuple(dims[t] for t in targets)} (expected {(plan.op_dim, plan.op_dim)})"
         )
-    batch = states.shape[0]
     tensor = states.reshape((batch,) + dims)
-    n = len(dims)
-    rest = [axis for axis in range(1, n + 1) if axis - 1 not in targets]
-    perm = [t + 1 for t in targets] + [0] + rest
-    tensor = np.transpose(tensor, perm)
-    tensor = tensor.reshape(op_dim, -1)
+    tensor = np.transpose(tensor, plan.perm)
+    tensor = tensor.reshape(plan.op_dim, -1)
     tensor = unitary @ tensor
-    tensor = tensor.reshape(target_dims + (batch,) + tuple(dims[axis - 1] for axis in rest))
-    inverse = np.argsort(perm)
-    tensor = np.transpose(tensor, inverse)
+    tensor = tensor.reshape(plan.permuted_shape)
+    tensor = np.transpose(tensor, plan.inverse)
     return np.ascontiguousarray(tensor).reshape(batch, -1)
 
 

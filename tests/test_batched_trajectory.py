@@ -16,6 +16,9 @@ from repro.noise.batched import BatchedTrajectoryEngine
 from repro.noise.model import NoiseModel
 from repro.noise.program import (
     GateStep,
+    _classify,
+    _fuse_gate_runs,
+    _Fuser,
     _monomial_structure,
     apply_kernel,
     apply_kernel_batch,
@@ -60,10 +63,14 @@ class TestKernelEquivalence:
 
     @pytest.mark.parametrize("strategy", REGIME_STRATEGIES)
     def test_scalar_kernels_agree_with_dense_reference(self, strategy):
-        """Structured kernels implement the same unitary as a dense apply."""
+        """Structured kernels implement the same unitary as a dense apply.
+
+        Compiled without fusion so every ideal step still maps 1:1 to one
+        op; the fused program is covered by ``TestMonomialFusion``.
+        """
         compiled = compile_circuit(_toffoli_circuit(), strategy)
         physical = compiled.physical_circuit
-        program = compile_program(physical, NoiseModel())
+        program = compile_program(physical, NoiseModel(), fuse=False)
         dims = physical.device_dims
         rng = np.random.default_rng(11)
         state = haar_random_state(dims, rng)
@@ -125,10 +132,15 @@ class TestTrajectoryEquivalence:
     def test_program_step_counts(self):
         compiled = compile_circuit(_toffoli_circuit(), Strategy.MIXED_RADIX_CCZ)
         physical = compiled.physical_circuit
-        program = compile_program(physical, NoiseModel())
+        program = compile_program(physical, NoiseModel(), fuse=False)
         gate_steps = [s for s in program.steps if isinstance(s, GateStep)]
         assert len(gate_steps) == len(physical.ops)
         assert len(program.ideal_steps) == len(physical.ops)
+        # The fused program may only merge steps, never add or reorder them.
+        fused = compile_program(physical, NoiseModel(), fuse=True)
+        fused_gate_steps = [s for s in fused.steps if isinstance(s, GateStep)]
+        assert len(fused_gate_steps) <= len(gate_steps)
+        assert len(fused.ideal_steps) <= len(program.ideal_steps)
 
     def test_generic_kernel_fallback_still_bitwise_equal(self, monkeypatch):
         """With the gather-index budget exhausted, multi-device monomial ops
@@ -166,3 +178,119 @@ class TestTrajectoryEquivalence:
             simulator.average_fidelity(
                 compiled.physical_circuit, num_trajectories=2, batch_size=0
             )
+
+
+class TestMonomialFusion:
+    """Compile-time fusion of consecutive diag/perm/monomial kernels.
+
+    The contract is strict: a fused program must be *bit-for-bit* equal to
+    its unfused counterpart under a fixed seed — fusion may only merge runs
+    whose composed application provably changes no rounding.
+    """
+
+    @pytest.mark.parametrize("strategy", REGIME_STRATEGIES)
+    def test_fused_program_bitwise_equal_to_unfused(self, strategy):
+        """Loop and batched fidelities are unchanged by fusion, per regime."""
+        compiled = compile_circuit(_toffoli_circuit(), strategy)
+        physical = compiled.physical_circuit
+        unfused = TrajectorySimulator(NoiseModel(), rng=321, fuse=False).average_fidelity(
+            physical, num_trajectories=8
+        )
+        fused_loop = TrajectorySimulator(NoiseModel(), rng=321, fuse=True).average_fidelity(
+            physical, num_trajectories=8
+        )
+        fused_batched = TrajectorySimulator(NoiseModel(), rng=321, fuse=True).average_fidelity(
+            physical, num_trajectories=8, batch_size=3
+        )
+        assert fused_loop.fidelities == unfused.fidelities
+        assert fused_batched.fidelities == unfused.fidelities
+
+    def test_fusion_merges_ideal_steps(self):
+        """The ideal path really shrinks (ROADMAP's 'fuse monomial kernels')."""
+        compiled = compile_circuit(_toffoli_circuit(), Strategy.MIXED_RADIX_CCZ)
+        physical = compiled.physical_circuit
+        unfused = compile_program(physical, NoiseModel(), fuse=False)
+        fused = compile_program(physical, NoiseModel(), fuse=True)
+        assert len(fused.ideal_steps) < len(unfused.ideal_steps)
+        assert any(step.kernel.kind == "fused" for step in fused.ideal_steps)
+
+    def test_fused_ideal_evolution_bitwise_equal(self):
+        compiled = compile_circuit(_toffoli_circuit(), Strategy.QUBIT_ONLY)
+        physical = compiled.physical_circuit
+        dims = physical.device_dims
+        rng = np.random.default_rng(17)
+        state = haar_random_state(dims, rng)
+        unfused = compile_program(physical, NoiseModel(), fuse=False)
+        fused = compile_program(physical, NoiseModel(), fuse=True)
+        expected = state.copy()
+        for step in unfused.ideal_steps:
+            expected = apply_kernel(expected, step.kernel, dims)
+        produced = state.copy()
+        for step in fused.ideal_steps:
+            produced = apply_kernel(produced, step.kernel, dims)
+        assert np.array_equal(produced, expected)
+
+    def _synthetic_steps(self, unitaries, dims):
+        budget = [256]
+        steps = []
+        for unitary, targets in unitaries:
+            kernel = _classify(np.asarray(unitary, dtype=complex), targets, dims, budget)
+            steps.append(GateStep(op=None, kernel=kernel))
+        return steps
+
+    def test_two_inexact_phase_runs_are_split(self):
+        """Two T-like kernels never fuse with each other (rounding would move)."""
+        dims = (2, 2)
+        t_phase = np.exp(1j * np.pi / 4)
+        t_gate = np.diag([1.0, t_phase])
+        steps = self._synthetic_steps([(t_gate, (0,)), (t_gate, (1,))], dims)
+        fused = _fuse_gate_runs(list(steps), _Fuser(dims))
+        assert len(fused) == 2  # split, not merged
+
+    def test_one_inexact_member_fuses_and_stays_bitwise(self):
+        """T + CZ + SWAP fuse into one kernel with identical rounding."""
+        dims = (2, 2)
+        t_gate = np.diag([1.0, np.exp(1j * np.pi / 4)])
+        cz = np.diag([1.0, 1.0, 1.0, -1.0])
+        swap = np.eye(4)[[0, 2, 1, 3]]
+        steps = self._synthetic_steps([(t_gate, (0,)), (cz, (0, 1)), (swap, (0, 1))], dims)
+        fused = _fuse_gate_runs(list(steps), _Fuser(dims))
+        assert len(fused) == 1 and fused[0].kernel.kind == "fused"
+        rng = np.random.default_rng(3)
+        state = haar_random_state(dims, rng)
+        expected = state.copy()
+        for step in steps:
+            expected = apply_kernel(expected, step.kernel, dims)
+        produced = apply_kernel(state.copy(), fused[0].kernel, dims)
+        assert np.array_equal(produced, expected)
+        # ... and the batched variant matches the scalar one row for row.
+        batch = np.array([haar_random_state(dims, rng) for _ in range(4)])
+        rows = np.stack([apply_kernel(row, fused[0].kernel, dims) for row in batch])
+        block = apply_kernel_batch(batch.copy(), fused[0].kernel, dims)
+        assert np.array_equal(block, rows)
+
+    def test_error_draw_closes_a_run(self):
+        """A depolarizing draw between two kernels must keep them separate."""
+        dims = (2, 2)
+        swap = np.eye(4)[[0, 2, 1, 3]]
+        steps = self._synthetic_steps([(swap, (0, 1)), (swap, (0, 1))], dims)
+        steps[0].error_dims = (2, 2)
+        steps[0].error_rate = 0.01
+        fused = _fuse_gate_runs(list(steps), _Fuser(dims))
+        assert len(fused) == 2
+
+    def test_fusion_budget_exhaustion_falls_back(self, monkeypatch):
+        import repro.noise.program as program_module
+
+        monkeypatch.setattr(program_module, "_MAX_FUSED_ENTRIES", 0)
+        compiled = compile_circuit(_toffoli_circuit(), Strategy.MIXED_RADIX_CCZ)
+        physical = compiled.physical_circuit
+        program = compile_program(physical, NoiseModel(), fuse=True)
+        assert all(step.kernel.kind != "fused" for step in program.ideal_steps)
+        loop = TrajectorySimulator(NoiseModel(), rng=9, fuse=False).average_fidelity(
+            physical, num_trajectories=4
+        )
+        capped = TrajectorySimulator(NoiseModel(), rng=9, fuse=True).average_fidelity(
+            physical, num_trajectories=4
+        )
+        assert capped.fidelities == loop.fidelities

@@ -36,6 +36,7 @@ __all__ = [
     "get_backend",
     "is_registered",
     "resolve_backend",
+    "resolve_backend_name",
 ]
 
 #: Environment variable naming the default backend for this process.
@@ -55,6 +56,22 @@ def available_backends() -> tuple[str, ...]:
     return tuple(name for name, cls in _REGISTRY.items() if cls.is_available())
 
 
+def resolve_backend_name(name: str | None = None) -> str:
+    """Normalize a backend name: explicit argument, then ``$REPRO_BACKEND``,
+    then the numpy default.
+
+    This is the single resolution path shared by :func:`get_backend` and by
+    cache-key construction (``repro.core.compile_cache``), so the name an
+    artifact is keyed under can never drift from the backend that serves the
+    kernels.  The name is *not* validated here — instantiation is what
+    validates (and may fail for uninstalled backends), and compile-only
+    paths must not require the backend library to be importable.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+    return name.strip().lower()
+
+
 def get_backend(name: str | None = None) -> ArrayBackend:
     """Return the backend instance for ``name`` (cached per process).
 
@@ -62,9 +79,7 @@ def get_backend(name: str | None = None) -> ArrayBackend:
     names raise ``ValueError`` listing the registry; known-but-uninstalled
     backends raise :class:`BackendUnavailable` with install guidance.
     """
-    if name is None:
-        name = os.environ.get(BACKEND_ENV_VAR) or "numpy"
-    name = name.strip().lower()
+    name = resolve_backend_name(name)
     instance = _INSTANCES.get(name)
     if instance is not None:
         return instance

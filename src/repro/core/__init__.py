@@ -14,21 +14,36 @@ from repro.core.gateset import ErrorModel, GateClass, GateSet
 from repro.core.physical import PhysicalCircuit, PhysicalOp, Slot
 from repro.core.encoding import Placement
 from repro.core.strategies import Strategy
+from repro.core.compile_cache import CompileCache, get_cache
+from repro.core.pipeline import (
+    CompilationContext,
+    Pass,
+    PassReport,
+    Pipeline,
+    default_pipeline,
+)
 from repro.core.compiler import CompilationResult, QuantumWaltzCompiler, compile_circuit
 from repro.core.metrics import CircuitMetrics, evaluate_metrics
 
 __all__ = [
     "CircuitMetrics",
+    "CompilationContext",
     "CompilationResult",
+    "CompileCache",
     "ErrorModel",
     "GateClass",
     "GateSet",
+    "Pass",
+    "PassReport",
     "PhysicalCircuit",
     "PhysicalOp",
+    "Pipeline",
     "Placement",
     "QuantumWaltzCompiler",
     "Slot",
     "Strategy",
     "compile_circuit",
+    "default_pipeline",
     "evaluate_metrics",
+    "get_cache",
 ]

@@ -22,7 +22,37 @@ __all__ = ["OpEmitter"]
 
 
 class CompilationError(RuntimeError):
-    """Raised when the compiler cannot lower an operation."""
+    """Raised when the compiler cannot lower an operation.
+
+    The error carries the offending gate (or op label) and the pipeline pass
+    that raised it, so sweep failures are attributable to one (gate, pass)
+    pair instead of a bare string.  Both are filled in lazily: the innermost
+    raise site attaches whatever context it has, and the pipeline driver
+    tops up the pass name as the error propagates (:meth:`attach` never
+    overwrites context that is already present).
+    """
+
+    def __init__(self, message: str, *, gate: object | None = None, pass_name: str | None = None):
+        super().__init__(message)
+        self.gate = gate
+        self.pass_name = pass_name
+
+    def attach(self, gate: object | None = None, pass_name: str | None = None) -> "CompilationError":
+        """Fill in missing gate/pass context; returns self for re-raising."""
+        if self.gate is None and gate is not None:
+            self.gate = gate
+        if self.pass_name is None and pass_name is not None:
+            self.pass_name = pass_name
+        return self
+
+    def __str__(self) -> str:
+        context = []
+        if self.gate is not None:
+            context.append(f"gate={self.gate}")
+        if self.pass_name is not None:
+            context.append(f"pass={self.pass_name}")
+        base = super().__str__()
+        return f"{base} [{', '.join(context)}]" if context else base
 
 
 class OpEmitter:
@@ -172,7 +202,10 @@ class OpEmitter:
         qubit_a = self.placement.qubit_at(slot_a)
         qubit_b = self.placement.qubit_at(slot_b)
         if qubit_a is None and qubit_b is None:
-            raise CompilationError("refusing to emit a SWAP between two empty slots")
+            raise CompilationError(
+                "refusing to emit a SWAP between two empty slots",
+                gate=f"SWAP {slot_a} <-> {slot_b}",
+            )
 
         duration, gate_class, label = self.routing_swap_pulse(slot_a, slot_b)
         if slot_a.device == slot_b.device:
@@ -206,10 +239,14 @@ class OpEmitter:
         source = self.placement.slot_of(moving_qubit)
         destination = Slot(host_device, 0)
         if source.device == host_device:
-            raise CompilationError("ENC source and host must be different devices")
+            raise CompilationError(
+                "ENC source and host must be different devices",
+                gate=f"ENC q{moving_qubit} -> d{host_device}",
+            )
         if not self.placement.is_free(destination):
             raise CompilationError(
-                f"cannot encode into device {host_device}: slot 0 is occupied"
+                f"cannot encode into device {host_device}: slot 0 is occupied",
+                gate=f"ENC q{moving_qubit} -> d{host_device}",
             )
         duration, gate_class = self.gate_set.encode()
         self.placement.move(moving_qubit, destination)
@@ -230,9 +267,15 @@ class OpEmitter:
         """Emit ENC†: move ``moving_qubit`` back out of its host ququart."""
         source = self.placement.slot_of(moving_qubit)
         if source.slot != 0:
-            raise CompilationError("decode expects the qubit to sit in slot 0 of its host")
+            raise CompilationError(
+                "decode expects the qubit to sit in slot 0 of its host",
+                gate=f"ENC_dg q{moving_qubit} -> {destination}",
+            )
         if not self.placement.is_free(destination):
-            raise CompilationError(f"decode destination {destination} is occupied")
+            raise CompilationError(
+                f"decode destination {destination} is occupied",
+                gate=f"ENC_dg q{moving_qubit} -> {destination}",
+            )
         duration, gate_class = self.gate_set.encode()
         self.placement.move(moving_qubit, destination)
         op = PhysicalOp(
@@ -288,13 +331,14 @@ class OpEmitter:
         if len(devices) != 2:
             raise CompilationError(
                 f"native three-qubit gate needs operands on exactly two devices, "
-                f"got {len(devices)} for {gate}"
+                f"got {len(devices)}",
+                gate=gate,
             )
         counts = {d: sum(1 for s in slots if s.device == d) for d in devices}
         pair_device = max(counts, key=lambda d: counts[d])
         lone_device = next(d for d in devices if d != pair_device)
         if counts[pair_device] != 2:
-            raise CompilationError(f"no co-located operand pair for {gate}")
+            raise CompilationError("no co-located operand pair", gate=gate)
 
         lone_is_bare = not self.device_uses_higher_levels(lone_device) and (
             self.placement.occupancy(lone_device) <= 1
@@ -348,7 +392,7 @@ class OpEmitter:
                 if control_slot.device == lone_device:
                     return "CSWAPq01", "mixed"
                 return ("CSWAP01q", "mixed") if control_slot.slot == 0 else ("CSWAP10q", "mixed")
-            raise CompilationError(f"no mixed-radix pulse for gate {name}")
+            raise CompilationError(f"no mixed-radix pulse for gate {name}", gate=gate)
 
         if name == "CCZ":
             return f"CCZ01,{lone_slot}", "full"
@@ -371,14 +415,16 @@ class OpEmitter:
                 f"CSWAP{control_slot.slot}{pair_target.slot},{lone_target.slot}",
                 "full",
             )
-        raise CompilationError(f"no full-ququart pulse for gate {name}")
+        raise CompilationError(f"no full-ququart pulse for gate {name}", gate=gate)
 
     def emit_itoffoli(self, gate: Gate) -> PhysicalOp:
         """Emit the native qubit-only iToffoli pulse (three devices in a line)."""
         slots = [self.placement.slot_of(q) for q in gate.qubits]
         devices = tuple(slot.device for slot in slots)
         if len(set(devices)) != 3:
-            raise CompilationError("iToffoli needs its operands on three distinct devices")
+            raise CompilationError(
+                "iToffoli needs its operands on three distinct devices", gate=gate
+            )
         duration, gate_class = self.gate_set.itoffoli()
         op = PhysicalOp(
             label="iToffoli",

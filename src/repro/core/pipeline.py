@@ -1,0 +1,600 @@
+"""The pass-based compilation pipeline (Section 5 as composable stages).
+
+The paper's four-stage flow — decompose/transform, map, route, emit — is
+expressed as explicit :class:`Pass` objects threading one
+:class:`CompilationContext` IR:
+
+* :class:`DecomposePass` — resolves the target device and applies every
+  *placement-independent* strategy transform up front (iToffoli relation,
+  CSWAP tear-down, CCX -> H.CCZ.H),
+* :class:`PlacePass` — interaction weights (with the Figure 9a same-type
+  boost) and the initial placement,
+* :class:`RoutePass` — builds the routing infrastructure: the physical
+  circuit shell, the :class:`~repro.core.emitter.OpEmitter` and the
+  :class:`~repro.core.routing.Router` (routing itself is demand-driven, so
+  the SWAPs are emitted while the EmitPass lowers each gate),
+* :class:`EmitPass` — the gate-lowering loop, including the
+  placement-*dependent* decompositions (line centres, Hadamard retargeting,
+  ENC/ENC† insertion).
+
+:meth:`Pipeline.run` records wall-time and op-delta metrics per pass into a
+:class:`PassReport` (surfaced as ``CompilationResult.pass_report``) and
+attributes any :class:`~repro.core.emitter.CompilationError` to the pass
+(and logical gate) that raised it.  Custom pipelines are injectable through
+``QuantumWaltzCompiler(pipeline=...)`` — passes may be dropped, reordered or
+replaced for experiments, and every stage validates the context fields it
+needs.  The default pipeline is bit-for-bit equivalent to the pre-refactor
+monolithic driver (``tests/test_golden_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.core import decompositions
+from repro.core.emitter import CompilationError, OpEmitter
+from repro.core.encoding import Placement
+from repro.core.gateset import GateSet
+from repro.core.mapping import (
+    boost_same_type_pairs,
+    interaction_weights,
+    place_one_per_device,
+    place_two_per_ququart,
+)
+from repro.core.physical import PhysicalCircuit
+from repro.core.routing import Router
+from repro.core.strategies import Strategy, StrategySpec, ThreeQubitMode
+from repro.topology.device import Device
+
+__all__ = [
+    "CompilationContext",
+    "DecomposePass",
+    "EmitPass",
+    "Pass",
+    "PassMetrics",
+    "PassReport",
+    "Pipeline",
+    "PlacePass",
+    "RoutePass",
+    "default_pipeline",
+    "devices_required",
+    "expand_strategy_gates",
+]
+
+
+def devices_required(circuit: QuantumCircuit, strategy: Strategy) -> int:
+    """Return how many physical devices the strategy needs for a circuit."""
+    if strategy.spec.qubits_per_device == 2:
+        return math.ceil(circuit.num_qubits / 2)
+    return circuit.num_qubits
+
+
+# ---------------------------------------------------------------------------
+# the context IR
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompilationContext:
+    """Mutable state threaded through the passes of one compilation.
+
+    The immutable inputs (``circuit``, ``strategy``, ``gate_set`` and the
+    optional explicit ``device``) are set by the driver; each pass fills in
+    the fields it owns and reads the ones produced upstream via
+    :meth:`require`, which turns a missing prerequisite into an attributable
+    :class:`CompilationError` instead of an ``AttributeError``.
+    """
+
+    circuit: QuantumCircuit
+    strategy: Strategy
+    gate_set: GateSet
+    device: Device | None = None
+    #: Strategy-transformed gate stream (DecomposePass); ``None`` makes the
+    #: EmitPass lower the original circuit directly — it retains the full
+    #: demand-driven lowering logic, so dropping the DecomposePass from a
+    #: custom pipeline changes nothing but where the transforms happen.
+    lowered_gates: tuple[Gate, ...] | None = None
+    weights: dict[tuple[int, int], float] | None = None
+    placement: Placement | None = None
+    physical: PhysicalCircuit | None = None
+    emitter: OpEmitter | None = None
+    router: Router | None = None
+    #: Free-form per-pass annotations (counts, decisions) for diagnostics.
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def spec(self) -> StrategySpec:
+        return self.strategy.spec
+
+    def require(self, field_name: str, pass_name: str) -> Any:
+        """Return a context field, raising an attributable error when unset."""
+        value = getattr(self, field_name)
+        if value is None:
+            raise CompilationError(
+                f"pass {pass_name!r} needs context field {field_name!r}, but no "
+                f"earlier pass produced it",
+                pass_name=pass_name,
+            )
+        return value
+
+    def resolve_device(self, pass_name: str) -> Device:
+        """Return the target device, building the default mesh on first use."""
+        needed = devices_required(self.circuit, self.strategy)
+        if self.device is None:
+            self.device = Device.mesh(needed)
+        elif self.device.num_devices < needed:
+            raise CompilationError(
+                f"strategy {self.strategy.name} needs {needed} devices, the device "
+                f"has {self.device.num_devices}",
+                pass_name=pass_name,
+            )
+        return self.device
+
+
+# ---------------------------------------------------------------------------
+# pass metrics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PassMetrics:
+    """Wall-time and op-count movement of one pass of one compilation."""
+
+    name: str
+    wall_time_s: float
+    ops_before: int
+    ops_after: int
+
+    @property
+    def op_delta(self) -> int:
+        """Physical ops appended while the pass ran (routing SWAPs included)."""
+        return self.ops_after - self.ops_before
+
+    def as_row(self) -> dict:
+        return {
+            "pass": self.name,
+            "wall_time_s": self.wall_time_s,
+            "ops_before": self.ops_before,
+            "ops_after": self.ops_after,
+            "op_delta": self.op_delta,
+        }
+
+
+@dataclass
+class PassReport:
+    """Per-pass metrics of one pipeline run, in execution order."""
+
+    passes: list[PassMetrics] = field(default_factory=list)
+
+    @property
+    def total_wall_time_s(self) -> float:
+        return sum(metrics.wall_time_s for metrics in self.passes)
+
+    def metrics_for(self, name: str) -> PassMetrics:
+        for metrics in self.passes:
+            if metrics.name == name:
+                return metrics
+        raise KeyError(f"no pass named {name!r} in this report")
+
+    def as_rows(self) -> list[dict]:
+        return [metrics.as_row() for metrics in self.passes]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"{'pass':<12} {'wall [ms]':>10} {'+ops':>6}"]
+        for metrics in self.passes:
+            lines.append(
+                f"{metrics.name:<12} {metrics.wall_time_s * 1e3:>10.2f} {metrics.op_delta:>6}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the pipeline driver
+# ---------------------------------------------------------------------------
+
+
+class Pass:
+    """One stage of the compilation pipeline.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, mutating the
+    shared :class:`CompilationContext` in place.
+    """
+
+    name: str = "pass"
+
+    def run(self, ctx: CompilationContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Pipeline:
+    """An ordered sequence of passes over one :class:`CompilationContext`."""
+
+    def __init__(self, passes: Iterable[Pass]):
+        self.passes = list(passes)
+        if not self.passes:
+            raise ValueError("a pipeline needs at least one pass")
+        names = [pass_.name for pass_ in self.passes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"pass names must be unique, got {names}")
+
+    def run(self, ctx: CompilationContext) -> PassReport:
+        """Run every pass in order; return the per-pass metrics report."""
+        report = PassReport()
+        for pass_ in self.passes:
+            ops_before = len(ctx.physical) if ctx.physical is not None else 0
+            start = time.perf_counter()
+            try:
+                pass_.run(ctx)
+            except CompilationError as exc:
+                raise exc.attach(pass_name=pass_.name)
+            elapsed = time.perf_counter() - start
+            ops_after = len(ctx.physical) if ctx.physical is not None else 0
+            report.passes.append(PassMetrics(pass_.name, elapsed, ops_before, ops_after))
+        return report
+
+
+def default_pipeline() -> Pipeline:
+    """Return the paper's four-stage flow as a fresh pipeline."""
+    return Pipeline([DecomposePass(), PlacePass(), RoutePass(), EmitPass()])
+
+
+# ---------------------------------------------------------------------------
+# stage 1: decompose / transform
+# ---------------------------------------------------------------------------
+
+
+def _strategy_expansion(gate: Gate, spec: StrategySpec) -> list[Gate] | None:
+    """One placement-independent expansion step, or ``None`` to keep the gate.
+
+    Only transforms whose output is independent of the live placement may
+    appear here; everything else (line-centre decompositions, Hadamard
+    retargeting) must stay demand-driven in the EmitPass.  The rule order
+    mirrors the lowering order of the monolithic driver exactly.
+    """
+    if gate.num_qubits != 3:
+        return None
+    if gate.name == "ITOFFOLI":
+        if spec.three_qubit_mode is ThreeQubitMode.ITOFFOLI:
+            return None  # executed through the native pulse
+        control0, control1, target = gate.qubits
+        return [Gate("CS", (control0, control1)), Gate("CCX", (control0, control1, target))]
+    if gate.name == "CSWAP" and spec.decomposes_cswap:
+        return decompositions.cswap_decomposition(*gate.qubits)
+    if (
+        gate.name == "CCZ"
+        and spec.regime == "qubit"
+        and spec.three_qubit_mode is ThreeQubitMode.ITOFFOLI
+    ):
+        return decompositions.ccz_to_ccx_form(*gate.qubits)
+    if gate.name == "CCX" and spec.lowers_ccx_via_ccz:
+        target = gate.qubits[2]
+        return [Gate("H", (target,)), Gate("CCZ", gate.qubits), Gate("H", (target,))]
+    return None
+
+
+def expand_strategy_gates(gates: Sequence[Gate], spec: StrategySpec) -> tuple[Gate, ...]:
+    """Expand the placement-independent strategy transforms to a fixpoint.
+
+    Expansion is depth-first in place, reproducing the recursion order of
+    the monolithic driver's ``_lower_sequence``.
+    """
+    expanded: list[Gate] = []
+    stack = list(reversed(list(gates)))
+    while stack:
+        gate = stack.pop()
+        replacement = _strategy_expansion(gate, spec)
+        if replacement is None:
+            expanded.append(gate)
+        else:
+            stack.extend(reversed(replacement))
+    return tuple(expanded)
+
+
+class DecomposePass(Pass):
+    """Resolve the device and apply placement-independent strategy transforms."""
+
+    name = "decompose"
+
+    def run(self, ctx: CompilationContext) -> None:
+        ctx.resolve_device(self.name)
+        ctx.lowered_gates = expand_strategy_gates(ctx.circuit.gates, ctx.spec)
+        ctx.info[self.name] = {
+            "logical_gates": len(ctx.circuit.gates),
+            "expanded_gates": len(ctx.lowered_gates),
+        }
+
+
+# ---------------------------------------------------------------------------
+# stage 2: map
+# ---------------------------------------------------------------------------
+
+
+class PlacePass(Pass):
+    """Compute interaction weights and the initial placement."""
+
+    name = "place"
+
+    def run(self, ctx: CompilationContext) -> None:
+        spec = ctx.spec
+        device = ctx.resolve_device(self.name)
+        weights = interaction_weights(ctx.circuit)
+        if spec.is_dense and spec.prefer_cswap_targets_together:
+            weights = boost_same_type_pairs(ctx.circuit, weights)
+        ctx.weights = weights
+        if spec.is_dense:
+            ctx.placement = place_two_per_ququart(ctx.circuit, device, weights)
+        else:
+            ctx.placement = place_one_per_device(ctx.circuit, device, weights)
+
+
+# ---------------------------------------------------------------------------
+# stage 3: routing infrastructure
+# ---------------------------------------------------------------------------
+
+
+class RoutePass(Pass):
+    """Build the physical circuit shell, the emitter and the router.
+
+    Routing SWAPs themselves are demand-driven — the router emits them while
+    the EmitPass brings each gate's operands together — so this pass owns
+    the routing *state* (cost model, adaptive weights, placement tracking)
+    rather than a batch of moves.
+    """
+
+    name = "route"
+
+    def run(self, ctx: CompilationContext) -> None:
+        spec = ctx.spec
+        device = ctx.require("device", self.name)
+        placement = ctx.require("placement", self.name)
+        physical = PhysicalCircuit(
+            num_devices=device.num_devices,
+            device_dims=spec.device_dim,
+            num_logical_qubits=ctx.circuit.num_qubits,
+            name=f"{ctx.circuit.name}-{ctx.strategy.name.lower()}",
+        )
+        physical.initial_placement = placement.copy()
+        emitter = OpEmitter(ctx.gate_set, placement, physical)
+        physical.initial_modes = {
+            dev: emitter.device_max_level(dev) for dev in range(device.num_devices)
+        }
+        ctx.physical = physical
+        ctx.emitter = emitter
+        ctx.router = Router(device, emitter, ctx.weights, dense=spec.is_dense)
+
+
+# ---------------------------------------------------------------------------
+# stage 4: emit
+# ---------------------------------------------------------------------------
+
+
+class EmitPass(Pass):
+    """Lower every gate to physical pulses, routing operands on demand.
+
+    The pass retains the complete lowering logic — including the
+    placement-independent transforms the DecomposePass normally pre-applies
+    — so a custom pipeline may drop or replace the DecomposePass and still
+    compile every workload.
+    """
+
+    name = "emit"
+
+    def run(self, ctx: CompilationContext) -> None:
+        emitter = ctx.require("emitter", self.name)
+        router = ctx.require("router", self.name)
+        physical = ctx.require("physical", self.name)
+        gates = ctx.lowered_gates if ctx.lowered_gates is not None else ctx.circuit.gates
+        for gate in gates:
+            try:
+                self._lower_gate(gate, ctx.strategy, emitter, router)
+            except CompilationError as exc:
+                raise exc.attach(gate=gate, pass_name=self.name)
+        physical.final_placement = emitter.placement.copy()
+        ctx.info[self.name] = {
+            "routing_swaps": sum(1 for op in physical.ops if op.logical_name == "SWAP"),
+            "encodes": sum(1 for op in physical.ops if op.gate_class.name == "ENCODE"),
+        }
+
+    # -- gate lowering ---------------------------------------------------------------------
+    def _lower_gate(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
+        if gate.num_qubits == 1:
+            emitter.emit_single(gate)
+            return
+        if gate.num_qubits == 2:
+            router.route_pair(*gate.qubits)
+            emitter.emit_two(gate)
+            return
+        self._lower_three_qubit(gate, strategy, emitter, router)
+
+    def _lower_sequence(self, gates, strategy, emitter, router) -> None:
+        for gate in gates:
+            self._lower_gate(gate, strategy, emitter, router)
+
+    def _lower_three_qubit(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
+        spec = strategy.spec
+        if gate.name == "ITOFFOLI":
+            # Only the iToffoli strategy keeps this gate native; elsewhere we
+            # lower it through its Toffoli + CS relation.
+            if spec.three_qubit_mode is ThreeQubitMode.ITOFFOLI:
+                self._lower_itoffoli_native(gate, strategy, emitter, router)
+            else:
+                c0, c1, t = gate.qubits
+                self._lower_sequence(
+                    [Gate("CS", (c0, c1)), Gate("CCX", (c0, c1, t))], strategy, emitter, router
+                )
+            return
+
+        if spec.regime == "qubit":
+            if spec.three_qubit_mode is ThreeQubitMode.ITOFFOLI:
+                self._lower_three_itoffoli_strategy(gate, strategy, emitter, router)
+            else:
+                self._lower_three_decomposed(gate, strategy, emitter, router)
+            return
+        if spec.regime == "mixed":
+            self._lower_three_mixed(gate, strategy, emitter, router)
+            return
+        self._lower_three_full(gate, strategy, emitter, router)
+
+    # -- qubit-only: full decomposition --------------------------------------------------------
+    def _lower_three_decomposed(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
+        if gate.name == "CSWAP":
+            control, t0, t1 = gate.qubits
+            self._lower_sequence(
+                decompositions.cswap_decomposition(control, t0, t1), strategy, emitter, router
+            )
+            return
+        center = router.route_three_sparse(gate.qubits)
+        ends = [q for q in gate.qubits if q != center]
+        if gate.name == "CCX":
+            gates = decompositions.ccx_line_decomposition(*gate.qubits, middle=center)
+        elif gate.name == "CCZ":
+            gates = decompositions.ccz_phase_polynomial_line(ends[0], center, ends[1])
+        else:
+            raise CompilationError(
+                f"cannot decompose three-qubit gate {gate.name}", gate=gate
+            )
+        self._lower_sequence(gates, strategy, emitter, router)
+
+    # -- qubit-only: native iToffoli pulse ---------------------------------------------------------
+    def _lower_three_itoffoli_strategy(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
+        if gate.name == "CSWAP":
+            control, t0, t1 = gate.qubits
+            self._lower_sequence(
+                decompositions.cswap_decomposition(control, t0, t1), strategy, emitter, router
+            )
+            return
+        if gate.name == "CCZ":
+            self._lower_sequence(
+                decompositions.ccz_to_ccx_form(*gate.qubits), strategy, emitter, router
+            )
+            return
+        self._lower_itoffoli_native(Gate("CCX", gate.qubits), strategy, emitter, router, is_plain_ccx=True)
+
+    def _lower_itoffoli_native(
+        self,
+        gate: Gate,
+        strategy: Strategy,
+        emitter: OpEmitter,
+        router: Router,
+        is_plain_ccx: bool = False,
+    ) -> None:
+        """Emit a CCX (or a bare iToffoli) through the native iToffoli pulse.
+
+        The pulse requires the target at the centre of a three-device line;
+        when routing leaves a control in the centre, the Hadamard
+        re-targeting of Figure 6b is applied.  A plain CCX additionally needs
+        the corrective CS† between the controls, which requires an extra
+        routing SWAP because the controls sit at the two ends of the line.
+        """
+        c0, c1, target = gate.qubits
+        center = router.route_three_sparse(gate.qubits)
+
+        pre: list[Gate] = []
+        post: list[Gate] = []
+        if center != target:
+            pre, retargeted, post = decompositions.retarget_ccx(c0, c1, target, new_target=center)
+            c0, c1, target = retargeted.qubits
+        for wrapper in pre:
+            emitter.emit_single(wrapper)
+
+        emitter.emit_itoffoli(Gate("ITOFFOLI", (c0, c1, target)))
+        if is_plain_ccx or gate.name == "CCX":
+            # Corrective CS† between the two controls (they are the line ends).
+            router.route_pair(c0, c1)
+            emitter.emit_two(Gate("CSDG", (c0, c1)))
+        for wrapper in post:
+            emitter.emit_single(wrapper)
+
+    # -- intermediate mixed-radix ------------------------------------------------------------------
+    def _lower_three_mixed(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
+        spec = strategy.spec
+        if gate.name == "CSWAP" and not spec.native_cswap:
+            self._lower_sequence(
+                decompositions.cswap_decomposition(*gate.qubits), strategy, emitter, router
+            )
+            return
+        if gate.name == "CCX" and spec.three_qubit_mode is ThreeQubitMode.NATIVE_CCZ:
+            target = gate.qubits[2]
+            emitter.emit_single(Gate("H", (target,)))
+            self._execute_mixed_native(Gate("CCZ", gate.qubits), strategy, emitter, router)
+            emitter.emit_single(Gate("H", (target,)))
+            return
+        self._execute_mixed_native(gate, strategy, emitter, router)
+
+    def _execute_mixed_native(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
+        """Route, encode, execute and decode a native mixed-radix 3q gate."""
+        spec = strategy.spec
+        center = router.route_three_sparse(gate.qubits)
+        working_gate = gate
+
+        if gate.name == "CCX" and spec.three_qubit_mode is ThreeQubitMode.NATIVE_CCX_RETARGET:
+            c0, c1, target = gate.qubits
+            if center == target:
+                # Retarget so the centre qubit becomes a control: swap roles of
+                # the centre (old target) with one of the end controls.
+                new_target = next(q for q in (c0, c1) if q != center)
+                pre, retargeted, post = decompositions.retarget_ccx(c0, c1, target, new_target=new_target)
+                for wrapper in pre:
+                    emitter.emit_single(wrapper)
+                self._encode_execute_decode(retargeted, center, strategy, emitter)
+                for wrapper in post:
+                    emitter.emit_single(wrapper)
+                return
+        self._encode_execute_decode(working_gate, center, strategy, emitter)
+
+    def _choose_partner(self, gate: Gate, center: int) -> int:
+        """Pick which end qubit is encoded together with the centre qubit."""
+        ends = [q for q in gate.qubits if q != center]
+        if gate.name in {"CCX"}:
+            controls = gate.qubits[:2]
+            target = gate.qubits[2]
+            if center in controls:
+                other_control = next(c for c in controls if c != center)
+                return other_control
+            # Centre is the target: encode one of the controls (split config).
+            return ends[0]
+        if gate.name == "CSWAP":
+            control = gate.qubits[0]
+            targets = gate.qubits[1:]
+            if center in targets:
+                other_target = next(t for t in targets if t != center)
+                return other_target
+            return ends[0]
+        # CCZ (and other symmetric gates): any end works.
+        return ends[0]
+
+    def _encode_execute_decode(self, gate: Gate, center: int, strategy: Strategy, emitter: OpEmitter) -> None:
+        partner = self._choose_partner(gate, center)
+        partner_home = emitter.placement.slot_of(partner)
+        host_device = emitter.placement.device_of(center)
+        emitter.emit_encode(partner, host_device)
+        emitter.emit_three_qubit_native(gate)
+        emitter.emit_decode(partner, partner_home)
+
+    # -- full ququart -------------------------------------------------------------------------------
+    def _lower_three_full(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
+        spec = strategy.spec
+        if gate.name == "CSWAP" and not spec.native_cswap:
+            self._lower_sequence(
+                decompositions.cswap_decomposition(*gate.qubits), strategy, emitter, router
+            )
+            return
+        if gate.name == "CCX":
+            target = gate.qubits[2]
+            emitter.emit_single(Gate("H", (target,)))
+            self._execute_full_native(Gate("CCZ", gate.qubits), strategy, emitter, router)
+            emitter.emit_single(Gate("H", (target,)))
+            return
+        self._execute_full_native(gate, strategy, emitter, router)
+
+    def _execute_full_native(self, gate: Gate, strategy: Strategy, emitter: OpEmitter, router: Router) -> None:
+        router.route_three_dense(gate.qubits, gate=gate)
+        emitter.emit_three_qubit_native(gate)

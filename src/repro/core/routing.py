@@ -184,7 +184,7 @@ class Router:
         current = self.gate_cost(qubits)
         candidates = self._candidate_swaps(qubits)
         if not candidates:
-            raise CompilationError("no routing candidates available")
+            raise CompilationError("no routing candidates available", pass_name="route")
         scored = []
         for slot_a, slot_b in candidates:
             new_cost = self._cost_after(qubits, slot_a, slot_b)
@@ -210,7 +210,9 @@ class Router:
             # a step along the shortest path towards its farthest partner.
             slot_a, slot_b = self._forced_path_move(qubits)
         if self.placement.qubit_at(slot_a) is None and self.placement.qubit_at(slot_b) is None:
-            raise CompilationError("routing selected a swap between two empty slots")
+            raise CompilationError(
+                "routing selected a swap between two empty slots", pass_name="route"
+            )
         self.emitter.emit_routing_swap(slot_a, slot_b)
 
     def _forced_path_move(self, qubits: Sequence[int]) -> tuple[Slot, Slot]:
@@ -241,7 +243,8 @@ class Router:
             steps += 1
             if steps > self.max_steps:
                 raise CompilationError(
-                    f"routing of pair ({qa}, {qb}) did not converge in {steps} steps"
+                    f"routing of pair ({qa}, {qb}) did not converge in {steps} steps",
+                    pass_name="route",
                 )
 
     def route_three_sparse(self, qubits: Sequence[int]) -> int:
@@ -252,7 +255,8 @@ class Router:
             steps += 1
             if steps > self.max_steps:
                 raise CompilationError(
-                    f"routing of operands {tuple(qubits)} did not converge in {steps} steps"
+                    f"routing of operands {tuple(qubits)} did not converge in {steps} steps",
+                    pass_name="route",
                 )
         center = self.three_qubit_center(qubits)
         assert center is not None
@@ -274,7 +278,9 @@ class Router:
             steps += 1
             if steps > self.max_steps:
                 raise CompilationError(
-                    f"routing of operands {tuple(qubits)} did not converge in {steps} steps"
+                    f"routing of operands {tuple(qubits)} did not converge in {steps} steps",
+                    gate=gate,
+                    pass_name="route",
                 )
         if gate is not None:
             self._orient_dense_three(gate)

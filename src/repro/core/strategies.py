@@ -58,6 +58,24 @@ class StrategySpec:
     def is_dense(self) -> bool:
         return self.regime == "full"
 
+    # -- placement-independent lowering decisions ------------------------------
+    # These two predicates describe the strategy-level gate transforms that do
+    # not depend on the live placement, so the DecomposePass can apply them up
+    # front; the placement-dependent choices (line centres, retargeting) stay
+    # demand-driven in the EmitPass.
+
+    @property
+    def decomposes_cswap(self) -> bool:
+        """Whether CSWAP is torn into one/two-qubit gates (no native pulse)."""
+        return not self.native_cswap
+
+    @property
+    def lowers_ccx_via_ccz(self) -> bool:
+        """Whether CCX is executed as H(target) . CCZ . H(target)."""
+        if self.regime == "full":
+            return True
+        return self.regime == "mixed" and self.three_qubit_mode is ThreeQubitMode.NATIVE_CCZ
+
 
 class Strategy(enum.Enum):
     """The compilation strategies compared in the paper's evaluation."""

@@ -7,8 +7,11 @@ one engine:
 * :class:`SweepPoint` — a picklable, declarative description of one grid
   point (workload, size, strategy, error-model factor, coherence scale,
   trajectory budget, RNG seed),
-* :func:`evaluate_point` — compiles (memoized per process), estimates EPS
-  and runs the batched trajectory simulation for one point,
+* :func:`evaluate_point` — compiles (through the shared compilation cache:
+  an in-process LRU front, plus the disk layer under ``$REPRO_CACHE_DIR``
+  that lets every worker process — and later, machine shards — reuse each
+  unique compilation instead of recomputing it), estimates EPS and runs the
+  batched trajectory simulation for one point,
 * :class:`SweepRunner` — fans a list of points (or any picklable tasks via
   :meth:`SweepRunner.map`) across ``ProcessPoolExecutor`` workers, keeping
   deterministic result order, and optionally writes CSV / JSON artifacts.
@@ -31,6 +34,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.backends import resolve_backend_name
+from repro.core.compile_cache import compilation_cache_key, get_cache
 from repro.core.compiler import CompilationResult, QuantumWaltzCompiler
 from repro.core.gateset import ErrorModel, GateSet
 from repro.core.metrics import evaluate_metrics
@@ -83,23 +88,58 @@ class SweepPoint:
 
 
 @lru_cache(maxsize=256)
+def _compilation_key(
+    workload: str,
+    size: int,
+    workload_kwargs: tuple[tuple[str, Any], ...],
+    strategy: str,
+    error_factor: float,
+    backend: str,
+) -> str:
+    """Content key of one sweep compilation, memoized on the argument tuple.
+
+    The arguments fully determine the circuit, so hashing its gate stream
+    once per distinct combination keeps repeated :func:`_compiled` lookups
+    (every point of a coherence grid, say) at dictionary speed instead of
+    rebuilding and re-fingerprinting the workload circuit per point.
+    """
+    circuit = workload_by_name(workload, size, **dict(workload_kwargs))
+    error_model = ErrorModel(ququart_error_factor=error_factor)
+    return compilation_cache_key(circuit, strategy, None, error_model, backend)
+
+
 def _compiled(
     workload: str,
     size: int,
     workload_kwargs: tuple[tuple[str, Any], ...],
     strategy: str,
     error_factor: float,
+    backend: str | None = None,
 ) -> CompilationResult:
-    """Compile one (circuit, strategy, error-model) combination, memoized.
+    """Compile one (circuit, strategy, error-model) combination, cached.
 
-    The cache lives per process, so sweeps that revisit a compilation (for
+    Lookups go through the shared :class:`~repro.core.compile_cache.CompileCache`:
+    the in-process LRU front makes sweeps that revisit a compilation (for
     example a coherence sweep, which only changes the noise model) compile
-    once per worker instead of once per point.
+    once per worker, and with ``$REPRO_CACHE_DIR`` set the disk layer lets
+    worker processes and repeated runs reuse each unique (circuit, strategy,
+    device, error model, backend) combination instead of recompiling it
+    (workers racing on a cold cache may duplicate a compilation, never
+    corrupt one — see ``CompileCache.get_or_create``).  ``backend`` defaults
+    to the resolved ``$REPRO_BACKEND`` name and is part of the key, so
+    switching backends mid-process can never serve a result compiled under
+    different backend assumptions.
     """
-    circuit = workload_by_name(workload, size, **dict(workload_kwargs))
-    gate_set = GateSet(error_model=ErrorModel(ququart_error_factor=error_factor))
-    compiler = QuantumWaltzCompiler(gate_set=gate_set)
-    return compiler.compile(circuit, strategy=Strategy[strategy])
+    backend_name = resolve_backend_name(backend)
+    key = _compilation_key(workload, size, workload_kwargs, strategy, error_factor, backend_name)
+
+    def build() -> CompilationResult:
+        circuit = workload_by_name(workload, size, **dict(workload_kwargs))
+        error_model = ErrorModel(ququart_error_factor=error_factor)
+        compiler = QuantumWaltzCompiler(gate_set=GateSet(error_model=error_model))
+        return compiler.compile(circuit, strategy=Strategy[strategy])
+
+    return get_cache().get_or_create(key, build)
 
 
 def _resolve_batch_size(point: SweepPoint, hilbert_dim: int) -> int | None:

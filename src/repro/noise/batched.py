@@ -30,7 +30,7 @@ from repro.noise.program import (
     IdleStep,
     TrajectoryProgram,
     apply_kernel_batch,
-    compile_program,
+    cached_compile_program,
     device_populations,
     draw_idle_choice,
     jump_scale,
@@ -63,7 +63,7 @@ class BatchedTrajectoryEngine:
         self.physical = physical
         self.noise_model = noise_model or NoiseModel()
         self.backend = resolve_backend(backend)
-        self.program = program or compile_program(physical, self.noise_model)
+        self.program = program or cached_compile_program(physical, self.noise_model)
 
     # -- noise events ------------------------------------------------------------
     def _apply_idle(

@@ -55,6 +55,7 @@ __all__ = [
     "GateStep",
     "IdleStep",
     "TrajectoryProgram",
+    "cached_compile_program",
     "compile_program",
 ]
 
@@ -468,6 +469,47 @@ def compile_program(
         program.steps = _fuse_gate_runs(program.steps, fuser)
         program.ideal_steps = _fuse_gate_runs(program.ideal_steps, fuser)
     return program
+
+
+def _program_cache_key(physical: PhysicalCircuit, noise_model: NoiseModel, fuse: bool) -> str:
+    """Content key of one compiled trajectory program (disk-cache layer)."""
+    from repro.core.compile_cache import CACHE_SCHEMA_VERSION, fingerprint, physical_token
+
+    coherence = noise_model.coherence
+    noise = (
+        f"noise:{coherence.base_t1_ns!r}:{coherence.excited_scale!r}:"
+        f"{noise_model.depolarizing_enabled}:{noise_model.amplitude_damping_enabled}"
+    )
+    return fingerprint(
+        [
+            "program",
+            f"schema:{CACHE_SCHEMA_VERSION}",
+            physical_token(physical),
+            noise,
+            f"fuse:{fuse}",
+        ]
+    )
+
+
+def cached_compile_program(
+    physical: PhysicalCircuit, noise_model: NoiseModel, fuse: bool = True
+) -> TrajectoryProgram:
+    """:func:`compile_program` through the shared compilation-artifact cache.
+
+    Without ``$REPRO_CACHE_DIR`` this is exactly :func:`compile_program`.
+    With it, programs are keyed by the physical op stream, the noise-model
+    parameters and the fusion flag, so every ``SweepRunner`` worker process
+    (and repeated runs) deserializes one shared artifact instead of
+    re-deriving unitaries, gathers and fused kernels.  Pickling arrays is an
+    exact round-trip, so a cached program is bit-for-bit equivalent.
+    """
+    from repro.core.compile_cache import get_cache
+
+    cache = get_cache()
+    if not cache.persistent:
+        return compile_program(physical, noise_model, fuse=fuse)
+    key = _program_cache_key(physical, noise_model, fuse)
+    return cache.get_or_create(key, lambda: compile_program(physical, noise_model, fuse=fuse))
 
 
 # ---------------------------------------------------------------------------

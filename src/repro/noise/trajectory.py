@@ -43,7 +43,7 @@ from repro.noise.program import (
     TrajectoryProgram,
     apply_idle_scalar,
     apply_kernel,
-    compile_program,
+    cached_compile_program,
     sample_gate_error,
 )
 from repro.qudit.random import haar_random_state
@@ -101,11 +101,16 @@ class TrajectorySimulator:
 
     # -- program compilation ----------------------------------------------------------
     def program_for(self, physical: PhysicalCircuit) -> TrajectoryProgram:
-        """Return the compiled trajectory program for a circuit (memoized)."""
+        """Return the compiled trajectory program for a circuit (memoized).
+
+        Compilation goes through :func:`repro.noise.program.cached_compile_program`,
+        so with ``$REPRO_CACHE_DIR`` set the program is shared on disk across
+        processes; the per-simulator memo below stays the fast path.
+        """
         key = (id(physical), physical.version, self.fuse)
         program = self._programs.get(key)
         if program is None:
-            program = compile_program(physical, self.noise_model, fuse=self.fuse)
+            program = cached_compile_program(physical, self.noise_model, fuse=self.fuse)
             self._programs.clear()  # one circuit at a time is the common case
             self._programs[key] = program
         return program

@@ -1,0 +1,153 @@
+"""Tests for the pass pipeline (repro.core.pipeline)."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.core.compiler import QuantumWaltzCompiler, compile_circuit
+from repro.core.emitter import CompilationError
+from repro.core.pipeline import (
+    CompilationContext,
+    DecomposePass,
+    EmitPass,
+    Pass,
+    PlacePass,
+    Pipeline,
+    RoutePass,
+    default_pipeline,
+    devices_required,
+    expand_strategy_gates,
+)
+from repro.core.strategies import Strategy
+from repro.topology.device import Device
+
+
+def small_circuit() -> QuantumCircuit:
+    return QuantumCircuit(5, name="small").h(0).cx(0, 1).ccx(0, 1, 2).cswap(2, 3, 4)
+
+
+class TestDefaultPipeline:
+    def test_devices_required(self):
+        circuit = small_circuit()
+        assert devices_required(circuit, Strategy.QUBIT_ONLY) == 5
+        assert devices_required(circuit, Strategy.FULL_QUQUART) == 3
+
+    def test_report_totals(self):
+        result = compile_circuit(small_circuit(), Strategy.MIXED_RADIX_CCZ)
+        report = result.pass_report
+        assert report.total_wall_time_s == sum(m.wall_time_s for m in report.passes)
+        rows = report.as_rows()
+        assert [row["pass"] for row in rows] == ["decompose", "place", "route", "emit"]
+        assert rows[-1]["op_delta"] == result.num_ops
+        with pytest.raises(KeyError):
+            report.metrics_for("nonexistent")
+
+    def test_fresh_pipeline_per_compiler(self):
+        # default_pipeline() returns fresh pass instances each time.
+        assert default_pipeline().passes is not default_pipeline().passes
+
+
+class TestCustomPipelines:
+    def test_dropping_decompose_pass_is_equivalent(self):
+        """EmitPass retains the full demand-driven lowering logic."""
+        circuit = small_circuit()
+        for strategy in (Strategy.QUBIT_ITOFFOLI, Strategy.MIXED_RADIX_CCZ, Strategy.FULL_QUQUART):
+            default = QuantumWaltzCompiler().compile(circuit, strategy=strategy)
+            trimmed = QuantumWaltzCompiler(
+                pipeline=Pipeline([PlacePass(), RoutePass(), EmitPass()])
+            ).compile(circuit, strategy=strategy)
+            assert trimmed.physical_circuit.ops == default.physical_circuit.ops
+            assert trimmed.final_placement == default.final_placement
+
+    def test_instrumentation_pass_sees_context(self):
+        class RecordingPass(Pass):
+            name = "record"
+
+            def __init__(self):
+                self.seen = []
+
+            def run(self, ctx: CompilationContext) -> None:
+                self.seen.append((len(ctx.physical), ctx.info["emit"]["routing_swaps"]))
+
+        recorder = RecordingPass()
+        pipeline = Pipeline([DecomposePass(), PlacePass(), RoutePass(), EmitPass(), recorder])
+        result = QuantumWaltzCompiler(pipeline=pipeline).compile(
+            small_circuit(), strategy=Strategy.MIXED_RADIX_CCZ
+        )
+        assert recorder.seen == [(result.num_ops, recorder.seen[0][1])]
+        assert [m.name for m in result.pass_report.passes][-1] == "record"
+
+    def test_rejects_empty_and_duplicate_names(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+        with pytest.raises(ValueError):
+            Pipeline([EmitPass(), EmitPass()])
+
+
+class TestErrorAttribution:
+    def test_device_too_small_names_decompose_pass(self):
+        circuit = small_circuit()
+        with pytest.raises(CompilationError) as excinfo:
+            compile_circuit(circuit, Strategy.QUBIT_ONLY, device=Device.mesh(2))
+        assert excinfo.value.pass_name == "decompose"
+        assert "pass=decompose" in str(excinfo.value)
+
+    def test_missing_prerequisite_names_failing_pass(self):
+        compiler = QuantumWaltzCompiler(pipeline=Pipeline([RoutePass(), EmitPass()]))
+        with pytest.raises(CompilationError) as excinfo:
+            compiler.compile(small_circuit(), strategy=Strategy.MIXED_RADIX_CCZ)
+        assert excinfo.value.pass_name == "route"
+        assert "context field" in str(excinfo.value)
+
+    def test_attach_never_overwrites(self):
+        error = CompilationError("boom", gate="CCX 0,1,2", pass_name="emit")
+        error.attach(gate="other", pass_name="route")
+        assert error.gate == "CCX 0,1,2"
+        assert error.pass_name == "emit"
+        assert "gate=CCX 0,1,2" in str(error)
+        assert "pass=emit" in str(error)
+
+    def test_pipeline_tops_up_pass_name(self):
+        class FailingPass(Pass):
+            name = "explode"
+
+            def run(self, ctx: CompilationContext) -> None:
+                raise CompilationError("kaboom")
+
+        compiler = QuantumWaltzCompiler(pipeline=Pipeline([FailingPass()]))
+        with pytest.raises(CompilationError) as excinfo:
+            compiler.compile(small_circuit())
+        assert excinfo.value.pass_name == "explode"
+
+
+class TestStrategyExpansion:
+    def test_full_regime_ccx_becomes_h_ccz_h(self):
+        gates = expand_strategy_gates(
+            [Gate("CCX", (0, 1, 2))], Strategy.FULL_QUQUART.spec
+        )
+        assert [g.name for g in gates] == ["H", "CCZ", "H"]
+        assert gates[1].qubits == (0, 1, 2)
+
+    def test_itoffoli_expands_to_fixpoint(self):
+        # ITOFFOLI -> CS + CCX, then CCX -> H CCZ H in the full regime.
+        gates = expand_strategy_gates(
+            [Gate("ITOFFOLI", (0, 1, 2))], Strategy.FULL_QUQUART.spec
+        )
+        assert [g.name for g in gates] == ["CS", "H", "CCZ", "H"]
+
+    def test_native_modes_keep_gates(self):
+        spec = Strategy.QUBIT_ITOFFOLI.spec
+        gates = expand_strategy_gates([Gate("ITOFFOLI", (0, 1, 2))], spec)
+        assert [g.name for g in gates] == ["ITOFFOLI"]
+        ccx = expand_strategy_gates([Gate("CCX", (0, 1, 2))], Strategy.MIXED_RADIX_CCX.spec)
+        assert [g.name for g in ccx] == ["CCX"]
+
+    def test_native_cswap_is_kept(self):
+        kept = expand_strategy_gates(
+            [Gate("CSWAP", (0, 1, 2))], Strategy.FULL_QUQUART_CSWAP_TARGETS.spec
+        )
+        assert [g.name for g in kept] == ["CSWAP"]
+        # Without the native pulse, CSWAP tears down to CX . CCX . CX; the
+        # inner CCX then continues to the full regime's H CCZ H fixpoint.
+        torn = expand_strategy_gates([Gate("CSWAP", (0, 1, 2))], Strategy.FULL_QUQUART.spec)
+        assert [g.name for g in torn] == ["CX", "H", "CCZ", "H", "CX"]

@@ -1,0 +1,82 @@
+"""CI gate: sharded sweeps must merge byte-identically with zero recompiles.
+
+Runs the Figure 7 mini-grid twice against one ``$REPRO_CACHE_DIR``:
+
+1. **unsharded** — a plain single-machine ``SweepRunner`` run, which also
+   cold-compiles every artifact into the shared cache,
+2. **sharded** — the same grid planned into 3 shards, each executed through
+   ``run_shard`` (with the in-process cache front dropped first, so the
+   shards can only reuse work through the disk layer, the way separate
+   machines on a common mount would), then reassembled with
+   ``merge_shards``.
+
+The check fails unless the merged CSV **and** JSON artifacts are
+byte-identical to the unsharded ones and the shard pass performed **zero**
+recompilations (audited through the cache's ``compile-log.txt``).
+
+Usage::
+
+    PYTHONPATH=src REPRO_CACHE_DIR=/tmp/repro-cache \
+        python examples/shard_equivalence_check.py
+"""
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+NUM_SHARDS = 3
+
+
+def main() -> int:
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print("error: REPRO_CACHE_DIR must be set for the shard-equivalence check")
+        return 2
+
+    from repro.core.compile_cache import get_cache
+    from repro.experiments.fidelity_sweep import fidelity_sweep_points
+    from repro.experiments.shard import ShardPlanner, merge_shards, run_shard, save_plan
+    from repro.experiments.sweep import SweepRunner
+
+    out_dir = Path(tempfile.mkdtemp(prefix="shard-equivalence-"))
+    points = fidelity_sweep_points(workloads=("cnu",), sizes=(5,), num_trajectories=4, rng=0)
+
+    # Pass 1: unsharded reference run (cold-compiles into the shared cache).
+    unsharded_csv = out_dir / "unsharded.csv"
+    unsharded_json = out_dir / "unsharded.json"
+    SweepRunner(max_workers=1, csv_path=unsharded_csv, json_path=unsharded_json).run(points)
+
+    cache = get_cache()
+    log_path = cache.directory / "compile-log.txt"
+    compiles_after_unsharded = len(log_path.read_text().splitlines())
+
+    # Pass 2: the same grid as NUM_SHARDS shards sharing only the disk cache.
+    plan_dir = out_dir / "plan"
+    plan = ShardPlanner(NUM_SHARDS).plan(points)
+    save_plan(plan, plan_dir)
+    for shard_id in range(NUM_SHARDS):
+        cache.clear_memory()  # each shard starts like a fresh host process
+        run_shard(plan, shard_id, plan_dir, runner=SweepRunner(max_workers=1))
+    merged = merge_shards(plan_dir)
+
+    recompiles = len(log_path.read_text().splitlines()) - compiles_after_unsharded
+    csv_identical = merged.csv_path.read_bytes() == unsharded_csv.read_bytes()
+    json_identical = merged.json_path.read_bytes() == unsharded_json.read_bytes()
+    print(
+        f"cold compilations: {compiles_after_unsharded}, shard-pass recompilations: {recompiles}, "
+        f"identical CSV: {csv_identical}, identical JSON: {json_identical}"
+    )
+
+    if recompiles > 0:
+        print("FAIL: the shard pass recompiled artifacts the unsharded run already cached")
+        return 1
+    if not csv_identical or not json_identical:
+        print("FAIL: merged shard artifacts differ from the unsharded run")
+        return 1
+    print(f"OK: {NUM_SHARDS} merged shards are byte-identical to the unsharded sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

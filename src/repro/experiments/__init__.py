@@ -17,24 +17,30 @@ Module                    Paper artifact
 All drivers accept size / trajectory-count arguments so the full paper-scale
 sweeps can be launched, while the defaults stay laptop-friendly (the same
 trade-off the paper makes against its 86 GB simulation ceiling).
+
+Grids run through :mod:`.sweep` on one machine, or sharded across machines
+through :mod:`.shard` (``python -m repro.experiments.shard``) with merged
+artifacts byte-identical to the unsharded run.
 """
 
 from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
-from repro.experiments.sweep import SweepPoint, SweepRunner, evaluate_point
+from repro.experiments.sweep import SweepPoint, SweepRunner, evaluate_point, point_key
 from repro.experiments.tables import format_table1, format_table2
 from repro.experiments.rb import RandomizedBenchmarkingResult, run_interleaved_rb
-from repro.experiments.fidelity_sweep import run_fidelity_sweep, summarize_improvements
 from repro.experiments.eps_study import run_eps_study
-from repro.experiments.cswap_study import run_cswap_study
 from repro.experiments.sensitivity import run_coherence_sensitivity, run_gate_error_sensitivity
 from repro.experiments.gate_ratio import run_gate_ratio_study
 
 __all__ = [
     "RandomizedBenchmarkingResult",
+    "ShardPlan",
+    "ShardPlanner",
     "StrategyEvaluation",
     "evaluate_strategy",
     "format_table1",
     "format_table2",
+    "merge_shards",
+    "point_key",
     "run_cswap_study",
     "run_coherence_sensitivity",
     "run_eps_study",
@@ -42,5 +48,29 @@ __all__ = [
     "run_gate_error_sensitivity",
     "run_gate_ratio_study",
     "run_interleaved_rb",
+    "run_shard",
     "summarize_improvements",
 ]
+
+#: Names resolved lazily (PEP 562) from modules that double as CLIs:
+#: eagerly importing them here would make ``python -m
+#: repro.experiments.<module>`` execute the module twice (runpy's
+#: found-in-sys.modules warning).
+_LAZY_EXPORTS = {
+    "ShardPlan": "shard",
+    "ShardPlanner": "shard",
+    "merge_shards": "shard",
+    "run_shard": "shard",
+    "run_fidelity_sweep": "fidelity_sweep",
+    "summarize_improvements": "fidelity_sweep",
+    "run_cswap_study": "cswap_study",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(f"{__name__}.{module_name}"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -116,3 +116,39 @@ def summarize_improvements(
         size: {name: float(np.mean(values)) for name, values in by_strategy.items()}
         for size, by_strategy in sorted(ratios.items())
     }
+
+
+def main(argv=None) -> int:
+    """CLI: run the Figure 7 sweep, optionally sharded across machines.
+
+    ``--shards N --shard-id K`` executes shard ``K`` of a deterministic
+    ``N``-way partition against the shared ``--dir`` (see
+    :mod:`repro.experiments.shard`); ``--merge`` reassembles the combined
+    CSV/JSON, byte-identical to an unsharded run of the same grid.
+    """
+    import argparse
+
+    from repro.experiments.shard import add_shard_arguments, run_sharded_driver
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fidelity_sweep",
+        description="Figure 7: fidelity vs circuit size per strategy.",
+    )
+    parser.add_argument("--workloads", nargs="+", default=list(DEFAULT_WORKLOADS))
+    parser.add_argument("--sizes", nargs="+", type=int, default=[5, 7, 9])
+    parser.add_argument("--trajectories", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    add_shard_arguments(parser)
+    args = parser.parse_args(argv)
+
+    points = fidelity_sweep_points(
+        workloads=tuple(args.workloads),
+        sizes=tuple(args.sizes),
+        num_trajectories=args.trajectories,
+        rng=args.seed,
+    )
+    return run_sharded_driver(points, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

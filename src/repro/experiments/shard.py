@@ -1,0 +1,816 @@
+"""Sharded sweep orchestration: plan / run / merge grids across machines.
+
+The Fig. 7/9 fidelity sweeps are (workload x strategy x error-model) grids of
+:class:`~repro.experiments.sweep.SweepPoint` — embarrassingly parallel, with
+each point fully determined by picklable values and a seed.  This module
+grows the single-machine :class:`~repro.experiments.sweep.SweepRunner` into
+a multi-machine orchestration layer:
+
+* :class:`ShardPlanner` deterministically partitions a grid into ``N``
+  shards (``round-robin``, or ``cost-weighted`` LPT using cached per-point
+  compile/op-count estimates — planning warms the shared compilation cache,
+  so the estimates are never wasted work),
+* :func:`run_shard` executes one shard through the runner's shared
+  point-execution engine, checkpointing a JSON **manifest** (completed
+  point keys, per-point rows, failure records with the attributed
+  ``CompilationError`` context) after every point, so an interrupted shard
+  restarts exactly where it left off — and, with ``$REPRO_CACHE_DIR`` on a
+  shared mount, without recompiling anything a finished point already
+  produced,
+* :func:`merge_shards` reassembles the per-shard artifacts into combined
+  CSV/JSON output that is **byte-identical to an unsharded
+  ``SweepRunner`` run for any shard count** — the core invariant, enforced
+  by ``tests/test_shard.py`` and the CI shard-equivalence gate
+  (``examples/shard_equivalence_check.py``).
+
+Byte-identity holds because sweep rows contain only native scalars (str /
+int / float), which round-trip exactly through the per-shard JSON row
+stores, and because the merge re-orders rows by global grid index and then
+writes them through the very same ``write_csv`` / ``write_json`` helpers
+the unsharded runner uses.
+
+Command line::
+
+    python -m repro.experiments.shard plan   --grid fig7 --shards 4 --dir DIR
+    python -m repro.experiments.shard run    --dir DIR --shard-id 2
+    python -m repro.experiments.shard status --dir DIR
+    python -m repro.experiments.shard merge  --dir DIR
+
+The Fig. 7 / Fig. 9a drivers accept the same sharding flags directly::
+
+    python -m repro.experiments.fidelity_sweep --shards 4 --shard-id 2 --dir DIR
+    python -m repro.experiments.cswap_study    --shards 2 --shard-id 0 --dir DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.compile_cache import fingerprint
+from repro.experiments.runner import StrategyEvaluation
+from repro.experiments.sweep import (
+    PointFailure,
+    SweepFailure,
+    SweepPoint,
+    SweepRunner,
+    _compiled,
+    atomic_write_json,
+    point_key,
+    sweep_rows,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "POLICIES",
+    "MergeResult",
+    "ShardError",
+    "ShardManifest",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardRunReport",
+    "estimate_point_cost",
+    "load_plan",
+    "main",
+    "merge_shards",
+    "point_from_json",
+    "point_to_json",
+    "run_shard",
+    "save_plan",
+    "shard_status",
+]
+
+#: Supported partitioning policies.
+POLICIES = ("round-robin", "cost-weighted")
+
+#: Bump when the plan/manifest layout changes; old state then errors loudly
+#: instead of resuming against a different format.
+SHARD_SCHEMA_VERSION = 1
+
+
+class ShardError(RuntimeError):
+    """Raised for invalid plans, stale manifests or incomplete merges."""
+
+
+# ---------------------------------------------------------------------------
+# point serialization
+# ---------------------------------------------------------------------------
+
+
+def point_to_json(point: SweepPoint) -> dict:
+    """JSON-ready dict of one sweep point (exact round trip for all fields).
+
+    Workload kwargs must be JSON primitives: a tuple (or any richer object)
+    would silently come back as a different type, change the point's key and
+    make the stored plan read as corrupt — so reject it here, with a message
+    that names the offending kwarg, before anything is written.
+    """
+    for name, value in point.workload_kwargs:
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise ShardError(
+                f"workload kwarg {name!r}={value!r} ({type(value).__name__}) is not a "
+                "JSON primitive; sharded plans require str/int/float/bool/None kwargs"
+            )
+    return {
+        "workload": point.workload,
+        "size": point.size,
+        "strategy": point.strategy,
+        "error_factor": point.error_factor,
+        "coherence_scale": point.coherence_scale,
+        "num_trajectories": point.num_trajectories,
+        "seed": point.seed,
+        "batch_size": point.batch_size,
+        "axis": point.axis,
+        "workload_kwargs": [[name, value] for name, value in point.workload_kwargs],
+        "workers": point.workers,
+    }
+
+
+def point_from_json(data: dict) -> SweepPoint:
+    """Rebuild a sweep point from :func:`point_to_json` output."""
+    return SweepPoint(
+        workload=data["workload"],
+        size=data["size"],
+        strategy=data["strategy"],
+        error_factor=data["error_factor"],
+        coherence_scale=data["coherence_scale"],
+        num_trajectories=data["num_trajectories"],
+        seed=data["seed"],
+        batch_size=data["batch_size"],
+        axis=data["axis"],
+        workload_kwargs=tuple((name, value) for name, value in data["workload_kwargs"]),
+        workers=data["workers"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of one grid into ``num_shards`` shards.
+
+    ``assignments[shard_id]`` lists *global* point indices (ascending), so a
+    point's identity and its position in the merged artifacts never depend
+    on which shard executed it.
+    """
+
+    points: tuple[SweepPoint, ...]
+    num_shards: int
+    policy: str
+    assignments: tuple[tuple[int, ...], ...]
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash binding manifests to this exact plan."""
+        return fingerprint(
+            [
+                "shard-plan",
+                f"schema:{SHARD_SCHEMA_VERSION}",
+                f"shards:{self.num_shards}",
+                f"policy:{self.policy}",
+                *[point_key(point) for point in self.points],
+                *[f"assign:{shard}" for shard in self.assignments],
+            ]
+        )
+
+    def shard_points(self, shard_id: int) -> list[tuple[int, SweepPoint]]:
+        """Return the ``(global_index, point)`` pairs assigned to one shard."""
+        if not 0 <= shard_id < self.num_shards:
+            raise ShardError(
+                f"shard_id {shard_id} out of range for a {self.num_shards}-shard plan"
+            )
+        return [(index, self.points[index]) for index in self.assignments[shard_id]]
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SHARD_SCHEMA_VERSION,
+            "num_shards": self.num_shards,
+            "policy": self.policy,
+            "fingerprint": self.fingerprint,
+            "points": [point_to_json(point) for point in self.points],
+            "assignments": [list(shard) for shard in self.assignments],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ShardPlan":
+        if data.get("schema") != SHARD_SCHEMA_VERSION:
+            raise ShardError(
+                f"plan schema {data.get('schema')!r} does not match "
+                f"this code's schema {SHARD_SCHEMA_VERSION}"
+            )
+        plan = cls(
+            points=tuple(point_from_json(point) for point in data["points"]),
+            num_shards=data["num_shards"],
+            policy=data["policy"],
+            assignments=tuple(tuple(shard) for shard in data["assignments"]),
+        )
+        if data.get("fingerprint") != plan.fingerprint:
+            raise ShardError("plan file is corrupt: stored fingerprint does not match contents")
+        return plan
+
+
+def estimate_point_cost(point: SweepPoint) -> float:
+    """Estimated relative cost of one point: compiled op count x trajectories.
+
+    The compilation goes through the shared cache (`$REPRO_CACHE_DIR`), so
+    cost-weighted planning doubles as a cache warm-up: every shard that later
+    executes the point reuses the artifact the planner already published.
+    """
+    compilation = _compiled(
+        point.workload, point.size, point.workload_kwargs, point.strategy, point.error_factor
+    )
+    return float(compilation.num_ops) * float(max(point.num_trajectories, 1))
+
+
+class ShardPlanner:
+    """Deterministically partition a grid of sweep points into shards.
+
+    ``round-robin`` assigns point ``i`` to shard ``i % num_shards`` — cheap
+    and free of compilations.  ``cost-weighted`` runs longest-processing-time
+    greedy placement over per-point cost estimates (``cost_fn``, default
+    :func:`estimate_point_cost`), balancing wall-clock across shards; ties
+    break on the lower point index, then the lower shard id, so plans are
+    reproducible on every machine.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: str = "round-robin",
+        cost_fn: Callable[[SweepPoint], float] = estimate_point_cost,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+        self.num_shards = num_shards
+        self.policy = policy
+        self.cost_fn = cost_fn
+
+    def plan(self, points: Sequence[SweepPoint]) -> ShardPlan:
+        points = tuple(points)
+        assignments: list[list[int]] = [[] for _ in range(self.num_shards)]
+        if self.policy == "round-robin":
+            for index in range(len(points)):
+                assignments[index % self.num_shards].append(index)
+        else:
+            costs = [self.cost_fn(point) for point in points]
+            loads = [0.0] * self.num_shards
+            order = sorted(range(len(points)), key=lambda index: (-costs[index], index))
+            for index in order:
+                shard_id = min(range(self.num_shards), key=lambda sid: (loads[sid], sid))
+                assignments[shard_id].append(index)
+                loads[shard_id] += costs[index]
+        return ShardPlan(
+            points=points,
+            num_shards=self.num_shards,
+            policy=self.policy,
+            assignments=tuple(tuple(sorted(shard)) for shard in assignments),
+        )
+
+
+# ---------------------------------------------------------------------------
+# on-disk layout
+# ---------------------------------------------------------------------------
+
+
+def _plan_path(directory: Path) -> Path:
+    return Path(directory) / "plan.json"
+
+
+def _shard_dir(directory: Path, shard_id: int) -> Path:
+    return Path(directory) / "shards" / f"shard-{shard_id:03d}"
+
+
+def _manifest_path(directory: Path, shard_id: int) -> Path:
+    return _shard_dir(directory, shard_id) / "manifest.json"
+
+
+def _rows_path(directory: Path, shard_id: int) -> Path:
+    return _shard_dir(directory, shard_id) / "rows.json"
+
+
+def save_plan(plan: ShardPlan, directory: str | Path) -> Path:
+    """Write ``plan.json`` under ``directory`` (atomically)."""
+    path = _plan_path(Path(directory))
+    atomic_write_json(path, plan.to_json())
+    return path
+
+
+def load_plan(directory: str | Path) -> ShardPlan:
+    """Load and validate the plan stored under ``directory``."""
+    path = _plan_path(Path(directory))
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as error:
+        raise ShardError(f"no shard plan at {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ShardError(f"unreadable shard plan at {path}: {error}") from error
+    return ShardPlan.from_json(payload)
+
+
+# ---------------------------------------------------------------------------
+# manifests
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardManifest:
+    """Resumable per-shard progress record, checkpointed after every point.
+
+    ``completed`` maps the *global* point index (as a string: JSON keys) to
+    the :func:`~repro.experiments.sweep.point_key` of the finished point;
+    ``failures`` keeps one attributed record per failed point (error type,
+    message, offending gate and pipeline pass for compilation errors).  A
+    manifest is bound to its plan through ``plan_fingerprint`` — resuming
+    against a different grid errors instead of silently mixing artifacts.
+    """
+
+    shard_id: int
+    plan_fingerprint: str
+    completed: dict[str, str] = field(default_factory=dict)
+    failures: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SHARD_SCHEMA_VERSION,
+            "shard_id": self.shard_id,
+            "plan_fingerprint": self.plan_fingerprint,
+            "completed": self.completed,
+            "failures": self.failures,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ShardManifest":
+        if data.get("schema") != SHARD_SCHEMA_VERSION:
+            raise ShardError(
+                f"manifest schema {data.get('schema')!r} does not match "
+                f"this code's schema {SHARD_SCHEMA_VERSION}"
+            )
+        return cls(
+            shard_id=data["shard_id"],
+            plan_fingerprint=data["plan_fingerprint"],
+            completed=dict(data.get("completed", {})),
+            failures=list(data.get("failures", [])),
+        )
+
+    @classmethod
+    def load(cls, directory: Path, shard_id: int) -> "ShardManifest | None":
+        path = _manifest_path(directory, shard_id)
+        if not path.exists():
+            return None
+        try:
+            return cls.from_json(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError, KeyError) as error:
+            raise ShardError(f"unreadable shard manifest at {path}: {error}") from error
+
+    def save(self, directory: Path) -> None:
+        atomic_write_json(_manifest_path(directory, self.shard_id), self.to_json())
+
+
+def _load_rows(directory: Path, shard_id: int) -> dict[str, dict]:
+    path = _rows_path(directory, shard_id)
+    if not path.exists():
+        return {}
+    try:
+        return dict(json.loads(path.read_text()))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ShardError(f"unreadable shard row store at {path}: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# running one shard
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardRunReport:
+    """What one :func:`run_shard` invocation did."""
+
+    shard_id: int
+    num_assigned: int
+    num_completed: int  # finished during *this* invocation
+    num_resumed: int  # already complete in the manifest, skipped
+    failures: tuple[dict, ...]
+    manifest_path: Path
+    csv_path: Path
+    json_path: Path
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard_id}: {self.num_assigned} assigned, "
+            f"{self.num_resumed} resumed, {self.num_completed} evaluated, "
+            f"{len(self.failures)} failed"
+        )
+
+
+def run_shard(
+    plan: ShardPlan,
+    shard_id: int,
+    directory: str | Path,
+    runner: SweepRunner | None = None,
+    resume: bool = True,
+) -> ShardRunReport:
+    """Execute one shard of a plan, checkpointing the manifest per point.
+
+    Point execution goes through :meth:`SweepRunner.iter_evaluate` — the
+    same engine (scheduling, guarded failure capture) the unsharded path
+    uses.  After every point the row store and then the manifest are
+    published atomically, so a shard killed mid-run resumes from the last
+    finished point; previously failed points are retried on resume.  The
+    runner's own artifact paths are ignored: shard artifacts live under
+    ``directory`` in the plan's layout.
+
+    Returns a :class:`ShardRunReport`; the per-shard ``rows.json`` (the
+    resumable row store) and ``shard.csv`` are left in the shard directory
+    for :func:`merge_shards`.
+    """
+    directory = Path(directory)
+    runner = runner or SweepRunner(max_workers=1)
+    assigned = plan.shard_points(shard_id)
+    shard_directory = _shard_dir(directory, shard_id)
+    shard_directory.mkdir(parents=True, exist_ok=True)
+
+    manifest = ShardManifest.load(directory, shard_id) if resume else None
+    if manifest is None:
+        manifest = ShardManifest(shard_id=shard_id, plan_fingerprint=plan.fingerprint)
+        rows: dict[str, dict] = {}
+    else:
+        if manifest.plan_fingerprint != plan.fingerprint:
+            raise ShardError(
+                f"manifest in {shard_directory} belongs to a different plan "
+                f"({manifest.plan_fingerprint[:12]} != {plan.fingerprint[:12]}); "
+                "use resume=False (or a fresh directory) to discard it"
+            )
+        rows = _load_rows(directory, shard_id)
+        # Drop rows the manifest does not vouch for (a kill between the row
+        # and manifest checkpoints): those points re-evaluate deterministically.
+        rows = {index: row for index, row in rows.items() if index in manifest.completed}
+
+    pending = [(index, point) for index, point in assigned if str(index) not in manifest.completed]
+    num_resumed = len(assigned) - len(pending)
+    # Pending points are being retried now; stale failure records for them
+    # would double-count once the retry outcome lands.
+    pending_keys = {point_key(point) for _, point in pending}
+    manifest.failures = [
+        record for record in manifest.failures if record.get("point_key") not in pending_keys
+    ]
+
+    num_completed = 0
+    for local_index, outcome in runner.iter_evaluate([point for _, point in pending]):
+        global_index, point = pending[local_index]
+        if isinstance(outcome, PointFailure):
+            manifest.failures.append({"index": global_index, **outcome.as_record()})
+        else:
+            rows[str(global_index)] = _point_row(point, outcome)
+            atomic_write_json(_rows_path(directory, shard_id), rows)
+            manifest.completed[str(global_index)] = point_key(point)
+            num_completed += 1
+        manifest.save(directory)
+
+    # Per-shard human-facing artifacts (global order restricted to this shard).
+    shard_rows = [rows[str(index)] for index, _ in assigned if str(index) in rows]
+    csv_path = write_csv(shard_rows, shard_directory / "shard.csv")
+    manifest.save(directory)
+
+    return ShardRunReport(
+        shard_id=shard_id,
+        num_assigned=len(assigned),
+        num_completed=num_completed,
+        num_resumed=num_resumed,
+        failures=tuple(manifest.failures),
+        manifest_path=_manifest_path(directory, shard_id),
+        csv_path=csv_path,
+        json_path=_rows_path(directory, shard_id),
+    )
+
+
+def _point_row(point: SweepPoint, evaluation: StrategyEvaluation) -> dict:
+    """The artifact row of one finished point — identical to the unsharded path."""
+    return sweep_rows([point], [evaluation])[0]
+
+
+# ---------------------------------------------------------------------------
+# status and merge
+# ---------------------------------------------------------------------------
+
+
+def shard_status(directory: str | Path) -> dict:
+    """Summarize per-shard progress of the plan stored under ``directory``."""
+    directory = Path(directory)
+    plan = load_plan(directory)
+    shards = []
+    total_done = 0
+    total_failed = 0
+    for shard_id in range(plan.num_shards):
+        assigned = plan.assignments[shard_id]
+        manifest = ShardManifest.load(directory, shard_id)
+        # A manifest left behind by a *different* plan (re-planned directory)
+        # is not progress: report it stale and count nothing from it, so
+        # orchestrators polling `status` never see phantom completion that
+        # `merge` would then reject.
+        stale = manifest is not None and manifest.plan_fingerprint != plan.fingerprint
+        completed = len(manifest.completed) if manifest and not stale else 0
+        failed = len(manifest.failures) if manifest and not stale else 0
+        shards.append(
+            {
+                "shard_id": shard_id,
+                "assigned": len(assigned),
+                "completed": completed,
+                "failed": failed,
+                "pending": len(assigned) - completed,
+                "started": manifest is not None and not stale,
+                "stale": stale,
+            }
+        )
+        total_done += completed
+        total_failed += failed
+    return {
+        "num_points": len(plan.points),
+        "num_shards": plan.num_shards,
+        "policy": plan.policy,
+        "completed": total_done,
+        "failed": total_failed,
+        "mergeable": total_done == len(plan.points) and total_failed == 0,
+        "shards": shards,
+    }
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Artifacts produced by :func:`merge_shards`."""
+
+    csv_path: Path
+    json_path: Path
+    num_rows: int
+
+
+def merge_shards(
+    directory: str | Path,
+    csv_path: str | Path | None = None,
+    json_path: str | Path | None = None,
+) -> MergeResult:
+    """Reassemble per-shard artifacts into the unsharded sweep's output.
+
+    Rows are re-ordered by global grid index and written through the same
+    ``write_csv`` / ``write_json`` helpers the unsharded ``SweepRunner``
+    uses, so for a fully completed plan the merged files are byte-identical
+    to a single-machine run of the same grid — for any shard count and any
+    execution interleaving.  Merging an incomplete or failed plan raises
+    :class:`ShardError` naming the missing points.
+    """
+    directory = Path(directory)
+    plan = load_plan(directory)
+    rows_by_index: dict[str, dict] = {}
+    failures: list[dict] = []
+    for shard_id in range(plan.num_shards):
+        manifest = ShardManifest.load(directory, shard_id)
+        if manifest is None:
+            if plan.assignments[shard_id]:
+                raise ShardError(f"shard {shard_id} has not run yet (no manifest)")
+            continue
+        if manifest.plan_fingerprint != plan.fingerprint:
+            raise ShardError(f"shard {shard_id} manifest belongs to a different plan")
+        shard_rows = _load_rows(directory, shard_id)
+        rows_by_index.update(
+            {index: row for index, row in shard_rows.items() if index in manifest.completed}
+        )
+        failures.extend(manifest.failures)
+    if failures:
+        described = ", ".join(
+            f"#{record.get('index')} {record.get('strategy')}" for record in failures[:5]
+        )
+        raise ShardError(
+            f"{len(failures)} point(s) failed ({described}); re-run their shards before merging"
+        )
+    missing = [index for index in range(len(plan.points)) if str(index) not in rows_by_index]
+    if missing:
+        raise ShardError(
+            f"{len(missing)} point(s) not yet evaluated (first missing: {missing[:5]}); "
+            "run the remaining shards before merging"
+        )
+    ordered = [rows_by_index[str(index)] for index in range(len(plan.points))]
+    csv_path = Path(csv_path) if csv_path is not None else directory / "merged.csv"
+    json_path = Path(json_path) if json_path is not None else directory / "merged.json"
+    write_csv(ordered, csv_path)
+    write_json(ordered, json_path)
+    return MergeResult(csv_path=csv_path, json_path=json_path, num_rows=len(ordered))
+
+
+# ---------------------------------------------------------------------------
+# driver integration (Fig. 7 / Fig. 9 CLIs)
+# ---------------------------------------------------------------------------
+
+
+def add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the common ``--shards / --shard-id`` options to a driver CLI."""
+    group = parser.add_argument_group("sharding")
+    group.add_argument("--shards", type=int, default=1, help="number of shards (default: 1)")
+    group.add_argument(
+        "--shard-id", type=int, default=None, help="which shard to run on this machine"
+    )
+    group.add_argument(
+        "--policy", choices=POLICIES, default="round-robin", help="partitioning policy"
+    )
+    group.add_argument(
+        "--dir", dest="shard_dir", default=None, help="shared plan/manifest directory"
+    )
+    group.add_argument("--max-workers", type=int, default=None, help="processes per machine")
+    group.add_argument("--csv", default=None, help="CSV artifact path (unsharded or merge)")
+    group.add_argument("--json", dest="json_out", default=None, help="JSON artifact path")
+    group.add_argument(
+        "--merge",
+        action="store_true",
+        help="merge completed shards into the combined artifacts and exit",
+    )
+
+
+def run_sharded_driver(points: Sequence[SweepPoint], args: argparse.Namespace) -> int:
+    """Shared driver logic behind the figure CLIs' sharding flags.
+
+    With ``--shards 1`` (the default) the grid runs unsharded through
+    ``SweepRunner``.  Otherwise ``--dir`` names the shared plan directory:
+    the first invocation writes the plan (later ones verify theirs matches),
+    ``--shard-id K`` runs one shard, ``--merge`` reassembles the artifacts.
+    Orchestration errors (incomplete merges, stale manifests, failed points)
+    print as clean messages with a non-zero exit code, matching the
+    ``python -m repro.experiments.shard`` CLI, instead of raw tracebacks.
+    """
+    try:
+        return _run_sharded_driver(points, args)
+    except ShardError as error:
+        print(f"error: {error}")
+        return 2
+    except SweepFailure as error:
+        print(f"error: {error}")
+        return 1
+
+
+def _run_sharded_driver(points: Sequence[SweepPoint], args: argparse.Namespace) -> int:
+    points = list(points)
+    if args.shards < 1:
+        print("error: --shards must be at least 1")
+        return 2
+    if args.shards == 1 and args.shard_id is None and not args.merge:
+        runner = SweepRunner(
+            max_workers=args.max_workers, csv_path=args.csv, json_path=args.json_out
+        )
+        evaluations = runner.run(points)
+        print(f"evaluated {len(evaluations)} points (unsharded)")
+        return 0
+
+    if args.shard_dir is None:
+        print("error: --dir is required when sharding (or merging)")
+        return 2
+    directory = Path(args.shard_dir)
+
+    # Every subcommand checks the stored plan against the grid the CLI flags
+    # describe — comparing point keys and shard count directly (never by
+    # re-planning: a cost-weighted re-plan would recompile the whole grid on
+    # every machine), so merging or running against a directory planned from
+    # a different grid errors instead of silently mixing artifacts.
+    if _plan_path(directory).exists():
+        plan = load_plan(directory)
+        if [point_key(p) for p in plan.points] != [point_key(p) for p in points]:
+            print(
+                "error: the plan stored in --dir was built from a different grid "
+                "than these flags describe; use a fresh directory or matching flags"
+            )
+            return 2
+        # --merge takes the shard count / policy from the stored plan; the
+        # other subcommands must agree with it explicitly.
+        if not args.merge and (plan.num_shards != args.shards or plan.policy != args.policy):
+            print(
+                "error: the plan stored in --dir uses "
+                f"{plan.num_shards} shards ({plan.policy}); "
+                f"these flags request {args.shards} ({args.policy})"
+            )
+            return 2
+    elif args.merge:
+        print("error: nothing to merge: --dir holds no shard plan")
+        return 2
+    else:
+        plan = ShardPlanner(args.shards, policy=args.policy).plan(points)
+        save_plan(plan, directory)
+        print(f"plan: {len(points)} points -> {plan.num_shards} shards ({plan.policy})")
+
+    if args.merge:
+        merged = merge_shards(directory, csv_path=args.csv, json_path=args.json_out)
+        print(f"merged {merged.num_rows} rows -> {merged.csv_path}, {merged.json_path}")
+        return 0
+
+    if args.shard_id is None:
+        status = shard_status(directory)
+        print(json.dumps(status, indent=2))
+        return 0
+
+    runner = SweepRunner(max_workers=args.max_workers)
+    report = run_shard(plan, args.shard_id, directory, runner=runner)
+    print(report.describe())
+    if not report.ok:
+        for record in report.failures:
+            print(f"  failed point #{record.get('index')}: {record.get('message')}")
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# command-line interface
+# ---------------------------------------------------------------------------
+
+
+def _grid_points(name: str) -> list[SweepPoint]:
+    """Named grids runnable straight from the CLI (imported lazily: the
+    figure drivers import this module for their own sharding flags)."""
+    from repro.experiments.cswap_study import cswap_study_points
+    from repro.experiments.fidelity_sweep import fidelity_sweep_points
+
+    grids: dict[str, Callable[[], list[SweepPoint]]] = {
+        "fig7": lambda: fidelity_sweep_points(),
+        "fig7-mini": lambda: fidelity_sweep_points(
+            workloads=("cnu",), sizes=(5,), num_trajectories=4, rng=0
+        ),
+        "fig9a": lambda: cswap_study_points(),
+        "fig9a-mini": lambda: cswap_study_points(sizes=(5,), num_trajectories=4, rng=0),
+    }
+    if name not in grids:
+        raise ShardError(f"unknown grid {name!r}; expected one of {sorted(grids)}")
+    return grids[name]()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.shard",
+        description="Plan, run, inspect and merge sharded sweep grids.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = commands.add_parser("plan", help="partition a named grid into shards")
+    plan_parser.add_argument("--grid", required=True, help="fig7 | fig7-mini | fig9a | fig9a-mini")
+    plan_parser.add_argument("--shards", type=int, required=True)
+    plan_parser.add_argument("--policy", choices=POLICIES, default="round-robin")
+    plan_parser.add_argument("--dir", dest="shard_dir", required=True)
+
+    run_parser = commands.add_parser("run", help="run one shard of a stored plan")
+    run_parser.add_argument("--dir", dest="shard_dir", required=True)
+    run_parser.add_argument("--shard-id", type=int, required=True)
+    run_parser.add_argument("--max-workers", type=int, default=None)
+    run_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="discard any existing manifest instead of resuming from it",
+    )
+
+    status_parser = commands.add_parser("status", help="summarize per-shard progress")
+    status_parser.add_argument("--dir", dest="shard_dir", required=True)
+
+    merge_parser = commands.add_parser("merge", help="reassemble shard artifacts")
+    merge_parser.add_argument("--dir", dest="shard_dir", required=True)
+    merge_parser.add_argument("--csv", default=None)
+    merge_parser.add_argument("--json", dest="json_out", default=None)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "plan":
+            points = _grid_points(args.grid)
+            plan = ShardPlanner(args.shards, policy=args.policy).plan(points)
+            path = save_plan(plan, args.shard_dir)
+            print(
+                f"plan: {len(points)} points -> {plan.num_shards} shards "
+                f"({plan.policy}) at {path}"
+            )
+            return 0
+        if args.command == "run":
+            plan = load_plan(args.shard_dir)
+            runner = SweepRunner(max_workers=args.max_workers)
+            report = run_shard(
+                plan, args.shard_id, args.shard_dir, runner=runner, resume=not args.no_resume
+            )
+            print(report.describe())
+            return 0 if report.ok else 1
+        if args.command == "status":
+            print(json.dumps(shard_status(args.shard_dir), indent=2))
+            return 0
+        if args.command == "merge":
+            merged = merge_shards(args.shard_dir, csv_path=args.csv, json_path=args.json_out)
+            print(f"merged {merged.num_rows} rows -> {merged.csv_path}, {merged.json_path}")
+            return 0
+    except ShardError as error:
+        print(f"error: {error}")
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

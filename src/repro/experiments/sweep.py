@@ -26,17 +26,20 @@ from __future__ import annotations
 import csv
 import json
 import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from tempfile import NamedTemporaryFile
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.backends import resolve_backend_name
-from repro.core.compile_cache import compilation_cache_key, get_cache
+from repro.core.compile_cache import compilation_cache_key, fingerprint, get_cache
 from repro.core.compiler import CompilationResult, QuantumWaltzCompiler
+from repro.core.emitter import CompilationError
 from repro.core.gateset import ErrorModel, GateSet
 from repro.core.metrics import evaluate_metrics
 from repro.core.strategies import Strategy
@@ -46,7 +49,16 @@ from repro.noise.trajectory import TrajectorySimulator
 from repro.topology.device import CoherenceModel
 from repro.workloads import workload_by_name
 
-__all__ = ["SweepPoint", "SweepRunner", "evaluate_point", "point_seeds"]
+__all__ = [
+    "PointFailure",
+    "SweepFailure",
+    "SweepPoint",
+    "SweepRunner",
+    "atomic_write_json",
+    "evaluate_point",
+    "point_key",
+    "point_seeds",
+]
 
 #: Trajectories per vectorized block handed to the batched engine.
 DEFAULT_BATCH_SIZE = 16
@@ -179,6 +191,118 @@ def evaluate_point(point: SweepPoint) -> StrategyEvaluation:
     )
 
 
+def point_key(point: SweepPoint) -> str:
+    """Stable content key of one :class:`SweepPoint`.
+
+    The key is a SHA-256 over every result-bearing field (``repr`` of the
+    floats, so distinct values never collide), identical across processes
+    and machines — shard manifests and failure artifacts use it to name
+    points durably.  ``workers`` is deliberately excluded: it is a
+    scheduling-only knob that never changes results (the bit-for-bit
+    invariant), and :meth:`SweepRunner.schedule` rewrites it to a
+    machine-dependent count — hashing it would make the same grid point key
+    differently on different hosts.
+    """
+    kwargs = ";".join(f"{name}={value!r}" for name, value in point.workload_kwargs)
+    return fingerprint(
+        [
+            "sweep-point",
+            point.workload,
+            str(point.size),
+            point.strategy,
+            repr(point.error_factor),
+            repr(point.coherence_scale),
+            str(point.num_trajectories),
+            str(point.seed),
+            repr(point.batch_size),
+            repr(point.axis),
+            kwargs,
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One sweep point that raised during evaluation, with full attribution.
+
+    Workers capture the exception where it happens, so a failure always
+    names the :func:`point_key` (and the offending gate / pipeline pass when
+    the error was a :class:`~repro.core.emitter.CompilationError`) instead
+    of surfacing as an anonymous pool traceback that loses which point died.
+    """
+
+    point: SweepPoint
+    point_key: str
+    error_type: str
+    message: str
+    gate: str | None = None
+    pass_name: str | None = None
+
+    def as_record(self) -> dict:
+        """Flat JSON-ready record for failure artifacts and manifests."""
+        return {
+            "point_key": self.point_key,
+            "workload": self.point.workload,
+            "size": self.point.size,
+            "strategy": self.point.strategy,
+            "seed": self.point.seed,
+            "error_type": self.error_type,
+            "message": self.message,
+            "gate": self.gate,
+            "pass": self.pass_name,
+        }
+
+    def describe(self) -> str:
+        context = f" [gate={self.gate}, pass={self.pass_name}]" if self.gate or self.pass_name else ""
+        return (
+            f"{self.point.workload}-{self.point.size}/{self.point.strategy} "
+            f"(key {self.point_key[:12]}): {self.error_type}: {self.message}{context}"
+        )
+
+
+class SweepFailure(RuntimeError):
+    """Raised by :meth:`SweepRunner.run` when any point fails.
+
+    Carries the structured :class:`PointFailure` records so callers (and the
+    failure artifact written next to the sweep outputs) keep the key of every
+    point that died, rather than just the first traceback.
+    """
+
+    def __init__(self, failures: Sequence[PointFailure]):
+        self.failures = list(failures)
+        names = "; ".join(failure.describe() for failure in self.failures[:3])
+        more = f" (+{len(self.failures) - 3} more)" if len(self.failures) > 3 else ""
+        super().__init__(f"{len(self.failures)} sweep point(s) failed: {names}{more}")
+
+
+def _evaluate_point_guarded(point: SweepPoint) -> StrategyEvaluation | PointFailure:
+    """Evaluate one point, converting exceptions into :class:`PointFailure`.
+
+    Runs inside worker processes: the return value must be picklable either
+    way, so the failure carries ``repr`` strings instead of live objects.
+    """
+    try:
+        return evaluate_point(point)
+    except Exception as error:  # deliberate: any per-point error is attributable
+        gate = getattr(error, "gate", None)
+        pass_name = error.pass_name if isinstance(error, CompilationError) else None
+        # CompilationError.__str__ appends "[gate=..., pass=...]"; the
+        # structured fields carry that context here, so keep the bare
+        # message rather than embedding the same context twice.
+        if isinstance(error, CompilationError) and error.args:
+            message = str(error.args[0])
+        else:
+            message = str(error)
+        return PointFailure(
+            point=point,
+            point_key=point_key(point),
+            error_type=type(error).__name__,
+            message=message,
+            gate=str(gate) if gate is not None else None,
+            pass_name=pass_name,
+        )
+
+
 def point_seeds(rng: np.random.Generator | int | None, count: int) -> list[int]:
     """Derive one deterministic seed per sweep point from a root seed."""
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -212,6 +336,7 @@ class SweepRunner:
         csv_path: str | Path | None = None,
         json_path: str | Path | None = None,
         trajectory_workers: int | str | None = "auto",
+        failures_path: str | Path | None = None,
     ):
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         if self.max_workers < 1:
@@ -223,15 +348,53 @@ class SweepRunner:
         self.trajectory_workers = trajectory_workers
         self.csv_path = Path(csv_path) if csv_path is not None else None
         self.json_path = Path(json_path) if json_path is not None else None
+        if failures_path is not None:
+            self.failures_path = Path(failures_path)
+        else:
+            # Default next to the data artifacts, so a failed sweep leaves a
+            # durable record of *which* points died alongside what succeeded.
+            anchor = self.csv_path or self.json_path
+            self.failures_path = (
+                anchor.with_suffix(".failures.json") if anchor is not None else None
+            )
 
     # -- generic fan-out ---------------------------------------------------------
-    def map(self, function: Callable, tasks: Sequence) -> list:
-        """Apply ``function`` to every task, in order, possibly in parallel."""
+    def iter_map(self, function: Callable, tasks: Sequence) -> Iterator:
+        """Yield ``function(task)`` for every task in order, possibly in parallel.
+
+        Streaming lets callers checkpoint after each result (the shard
+        manifests) while sharing one fan-out implementation with :meth:`map`.
+        Submission is windowed (two tasks in flight per worker) rather than
+        all-at-once: a consumer that stops early — a failed checkpoint write,
+        a shard being shut down — only waits for the window to drain, instead
+        of the pool grinding through every remaining task just to discard the
+        results.
+        """
         tasks = list(tasks)
         if self.max_workers == 1 or len(tasks) <= 1:
-            return [function(task) for task in tasks]
-        with ProcessPoolExecutor(max_workers=min(self.max_workers, len(tasks))) as pool:
-            return list(pool.map(function, tasks))
+            for task in tasks:
+                yield function(task)
+            return
+        workers = min(self.max_workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            window: deque = deque(
+                pool.submit(function, task) for task in tasks[: 2 * workers]
+            )
+            next_index = len(window)
+            try:
+                while window:
+                    result = window.popleft().result()
+                    if next_index < len(tasks):
+                        window.append(pool.submit(function, tasks[next_index]))
+                        next_index += 1
+                    yield result
+            finally:
+                for future in window:
+                    future.cancel()
+
+    def map(self, function: Callable, tasks: Sequence) -> list:
+        """Apply ``function`` to every task, in order, possibly in parallel."""
+        return list(self.iter_map(function, tasks))
 
     # -- scheduling ---------------------------------------------------------------
     def schedule(self, points: Sequence[SweepPoint]) -> tuple[list[SweepPoint], bool]:
@@ -267,22 +430,73 @@ class SweepRunner:
         return annotated, True
 
     # -- sweep-point evaluation ---------------------------------------------------
-    def run(self, points: Sequence[SweepPoint]) -> list[StrategyEvaluation]:
-        """Evaluate every point and write the configured artifacts."""
+    def iter_evaluate(
+        self, points: Sequence[SweepPoint]
+    ) -> Iterator[tuple[int, StrategyEvaluation | PointFailure]]:
+        """Yield ``(index, outcome)`` per point, in order, as results arrive.
+
+        This is the single point-execution engine shared by :meth:`run` and
+        the shard runner (:mod:`repro.experiments.shard`): scheduling
+        (point-level versus trajectory-level fan-out) and per-point failure
+        capture live here, so both paths behave identically.  Outcomes are
+        either a :class:`~repro.experiments.runner.StrategyEvaluation` or a
+        :class:`PointFailure` — exceptions never abort the remaining points.
+        """
         points = list(points)
         scheduled, trajectory_level = self.schedule(points)
         if trajectory_level:
             # Points run inline; each point's trajectories fan out instead.
-            evaluations = [evaluate_point(point) for point in scheduled]
+            for index, point in enumerate(scheduled):
+                yield index, _evaluate_point_guarded(point)
         else:
-            evaluations = self.map(evaluate_point, scheduled)
-        if self.csv_path is not None or self.json_path is not None:
-            rows = sweep_rows(points, evaluations)
-            if self.csv_path is not None:
-                write_csv(rows, self.csv_path)
-            if self.json_path is not None:
-                write_json(rows, self.json_path)
+            yield from enumerate(self.iter_map(_evaluate_point_guarded, scheduled))
+
+    def run(self, points: Sequence[SweepPoint]) -> list[StrategyEvaluation]:
+        """Evaluate every point and write the configured artifacts.
+
+        If any point fails, the surviving evaluations are discarded, the
+        failures (with their point keys) are written to ``failures_path``
+        and a :class:`SweepFailure` carrying every record is raised.
+        """
+        points = list(points)
+        evaluations: list[StrategyEvaluation | None] = [None] * len(points)
+        failures: list[PointFailure] = []
+        for index, outcome in self.iter_evaluate(points):
+            if isinstance(outcome, PointFailure):
+                failures.append(outcome)
+            else:
+                evaluations[index] = outcome
+        if failures:
+            self.write_failures(failures)
+            raise SweepFailure(failures)
+        self.write_artifacts(points, evaluations)
         return evaluations
+
+    # -- artifacts ----------------------------------------------------------------
+    def write_artifacts(
+        self, points: Sequence[SweepPoint], evaluations: Sequence[StrategyEvaluation]
+    ) -> None:
+        """Write the configured CSV/JSON artifacts for finished evaluations."""
+        if self.csv_path is None and self.json_path is None:
+            return
+        rows = sweep_rows(points, evaluations)
+        if self.csv_path is not None:
+            write_csv(rows, self.csv_path)
+        if self.json_path is not None:
+            write_json(rows, self.json_path)
+
+    def write_failures(self, failures: Sequence[PointFailure]) -> Path | None:
+        """Record failed points (their keys and error context) as JSON.
+
+        Published atomically: the artifact is written while a sweep is
+        dying, exactly when a second crash (or a kill) could otherwise leave
+        a torn record.
+        """
+        if self.failures_path is None:
+            return None
+        return atomic_write_json(
+            self.failures_path, [failure.as_record() for failure in failures]
+        )
 
 
 def sweep_rows(
@@ -326,4 +540,22 @@ def write_json(rows: Sequence[dict], path: str | Path) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(list(rows), indent=2, default=str))
+    return path
+
+
+def atomic_write_json(path: str | Path, payload) -> Path:
+    """Publish JSON with tmp + ``os.replace`` so a kill never tears a file.
+
+    Shared by the failure artifacts here and the shard manifests/row stores
+    (:mod:`repro.experiments.shard`): durable progress records are written
+    exactly when crashes are likely, so they must never be half-written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with NamedTemporaryFile(
+        "w", dir=path.parent, suffix=".tmp", delete=False, encoding="utf-8"
+    ) as handle:
+        temp_name = handle.name
+        handle.write(json.dumps(payload, indent=2, default=str))
+    os.replace(temp_name, path)
     return path

@@ -1,0 +1,59 @@
+"""Seeded random logical-circuit generator for differential tests.
+
+Unlike the hypothesis strategies in ``test_properties.py`` (which explore
+shrinking-friendly spaces), this generator is plain ``numpy``-seeded: the
+same seed always yields the same circuit on every machine, so differential
+suites (pipeline versus the frozen legacy compiler, sharded versus unsharded
+sweeps) can pin exact circuits without recording them.
+
+The gate vocabulary is the compiler's supported logical set — the same one
+the paper's workloads draw from — so every generated circuit must compile
+under every strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["ONE_QUBIT_GATES", "THREE_QUBIT_GATES", "TWO_QUBIT_GATES", "random_logical_circuit"]
+
+ONE_QUBIT_GATES = ("X", "Z", "H", "S", "T")
+TWO_QUBIT_GATES = ("CX", "CZ", "SWAP")
+THREE_QUBIT_GATES = ("CCX", "CCZ", "CSWAP")
+
+#: Arity mix: mostly one/two-qubit gates with a real three-qubit presence,
+#: mirroring the paper's workloads (which are Toffoli/CSWAP-heavy).
+_ARITY_POOL = (1, 1, 2, 2, 2, 3, 3)
+
+
+def random_logical_circuit(
+    seed: int,
+    num_qubits: int | None = None,
+    num_gates: int | None = None,
+) -> QuantumCircuit:
+    """Return a deterministic pseudo-random logical circuit.
+
+    ``num_qubits`` defaults to a seed-derived value in [3, 6] and
+    ``num_gates`` to one in [10, 20]; pass them explicitly to pin the shape.
+    """
+    rng = np.random.default_rng(seed)
+    if num_qubits is None:
+        num_qubits = int(rng.integers(3, 7))
+    if num_gates is None:
+        num_gates = int(rng.integers(10, 21))
+    if num_qubits < 3:
+        raise ValueError("need at least 3 qubits for the three-qubit vocabulary")
+    circuit = QuantumCircuit(num_qubits, name=f"random-{seed}-{num_qubits}q{num_gates}g")
+    for _ in range(num_gates):
+        arity = int(rng.choice(_ARITY_POOL))
+        qubits = [int(q) for q in rng.choice(num_qubits, size=arity, replace=False)]
+        if arity == 1:
+            name = str(rng.choice(ONE_QUBIT_GATES))
+        elif arity == 2:
+            name = str(rng.choice(TWO_QUBIT_GATES))
+        else:
+            name = str(rng.choice(THREE_QUBIT_GATES))
+        circuit.add(name, *qubits)
+    return circuit

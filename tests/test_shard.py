@@ -1,0 +1,565 @@
+"""Tests for sharded sweep orchestration (repro.experiments.shard).
+
+The core invariant: for any shard count and any interleaving (including a
+shard killed mid-run and resumed from its manifest), ``merge_shards`` output
+is **byte-identical** to an unsharded ``SweepRunner`` run of the same grid,
+and the shared compilation cache compiles each unique key at most once per
+host.
+"""
+
+import json
+
+import pytest
+
+from repro.core.compile_cache import get_cache, reset_cache
+from repro.core.emitter import CompilationError
+from repro.experiments import shard as shard_mod
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.fidelity_sweep import fidelity_sweep_points
+from repro.experiments.shard import (
+    MergeResult,
+    ShardError,
+    ShardManifest,
+    ShardPlanner,
+    load_plan,
+    merge_shards,
+    point_from_json,
+    point_to_json,
+    run_shard,
+    save_plan,
+    shard_status,
+)
+from repro.experiments.sweep import SweepPoint, SweepRunner, point_key
+
+
+def mini_points(num_trajectories=3):
+    """The Fig. 7 mini-grid: cnu-5 under the six Figure 7 strategies."""
+    return fidelity_sweep_points(
+        workloads=("cnu",), sizes=(5,), num_trajectories=num_trajectories, rng=0
+    )
+
+
+@pytest.fixture
+def shared_cache(tmp_path, monkeypatch):
+    """A fresh shared REPRO_CACHE_DIR, as shards on a common mount would see."""
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    reset_cache()
+    yield cache_dir
+    reset_cache()
+
+
+def compile_log_keys(cache_dir):
+    log = cache_dir / "compile-log.txt"
+    if not log.exists():
+        return []
+    return [line.split()[1] for line in log.read_text().splitlines()]
+
+
+def run_unsharded(points, out_dir):
+    runner = SweepRunner(
+        max_workers=1, csv_path=out_dir / "unsharded.csv", json_path=out_dir / "unsharded.json"
+    )
+    runner.run(points)
+    return runner.csv_path, runner.json_path
+
+
+def run_all_shards(plan, directory):
+    for shard_id in range(plan.num_shards):
+        run_shard(plan, shard_id, directory, runner=SweepRunner(max_workers=1))
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+
+class TestShardPlanner:
+    def test_round_robin_partitions_every_point_once(self):
+        points = mini_points()
+        plan = ShardPlanner(4).plan(points)
+        seen = sorted(index for shard in plan.assignments for index in shard)
+        assert seen == list(range(len(points)))
+        assert plan.assignments[0] == (0, 4)
+        assert plan.assignments[3] == (3,)
+
+    def test_more_shards_than_points_leaves_empty_shards(self):
+        points = mini_points()
+        plan = ShardPlanner(7).plan(points)
+        assert len(plan.assignments) == 7
+        assert sum(len(shard) for shard in plan.assignments) == len(points)
+        assert any(len(shard) == 0 for shard in plan.assignments)
+
+    def test_cost_weighted_balances_loads(self):
+        points = mini_points()
+        costs = {point_key(point): float(cost) for point, cost in zip(points, (8, 1, 1, 1, 1, 8))}
+        planner = ShardPlanner(2, policy="cost-weighted", cost_fn=lambda p: costs[point_key(p)])
+        plan = planner.plan(points)
+        seen = sorted(index for shard in plan.assignments for index in shard)
+        assert seen == list(range(len(points)))
+        # LPT must not put both expensive points (0 and 5) on one shard.
+        for shard in plan.assignments:
+            assert not {0, 5} <= set(shard)
+
+    def test_cost_weighted_is_deterministic(self, shared_cache):
+        points = mini_points()
+        first = ShardPlanner(3, policy="cost-weighted").plan(points)
+        second = ShardPlanner(3, policy="cost-weighted").plan(points)
+        assert first.assignments == second.assignments
+        assert first.fingerprint == second.fingerprint
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
+        with pytest.raises(ValueError):
+            ShardPlanner(2, policy="random")
+
+    def test_plan_round_trip(self, tmp_path):
+        points = mini_points()
+        plan = ShardPlanner(3).plan(points)
+        save_plan(plan, tmp_path)
+        loaded = load_plan(tmp_path)
+        assert loaded == plan
+        assert loaded.fingerprint == plan.fingerprint
+
+    def test_load_plan_rejects_tampering(self, tmp_path):
+        plan = ShardPlanner(3).plan(mini_points())
+        path = save_plan(plan, tmp_path)
+        payload = json.loads(path.read_text())
+        payload["assignments"][0], payload["assignments"][1] = (
+            payload["assignments"][1],
+            payload["assignments"][0],
+        )
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="fingerprint"):
+            load_plan(tmp_path)
+
+    def test_missing_plan(self, tmp_path):
+        with pytest.raises(ShardError, match="no shard plan"):
+            load_plan(tmp_path / "nowhere")
+
+    def test_plan_rejects_non_json_workload_kwargs(self, tmp_path):
+        # A tuple kwarg would come back from JSON as a list, change the
+        # point's key and make the stored plan read as corrupt — reject it
+        # loudly at save time instead.
+        point = SweepPoint(
+            workload="synthetic",
+            size=5,
+            strategy="QUBIT_ONLY",
+            workload_kwargs=(("taps", (1, 2)),),
+        )
+        plan = ShardPlanner(1).plan([point])
+        with pytest.raises(ShardError, match="taps"):
+            save_plan(plan, tmp_path)
+
+    def test_point_json_round_trip(self):
+        point = SweepPoint(
+            workload="synthetic",
+            size=5,
+            strategy="QUBIT_ONLY",
+            error_factor=2.5,
+            axis=2.5,
+            workload_kwargs=(("num_gates", 6), ("cx_fraction", 0.5), ("seed", 3)),
+        )
+        restored = point_from_json(json.loads(json.dumps(point_to_json(point))))
+        assert restored == point
+        assert point_key(restored) == point_key(point)
+
+
+# ---------------------------------------------------------------------------
+# shard equivalence (the core invariant)
+# ---------------------------------------------------------------------------
+
+
+class TestShardEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 3, 7])
+    def test_merge_is_byte_identical_to_unsharded(self, num_shards, tmp_path, shared_cache):
+        points = mini_points()
+        unsharded_csv, unsharded_json = run_unsharded(points, tmp_path)
+
+        directory = tmp_path / f"plan-{num_shards}"
+        plan = ShardPlanner(num_shards).plan(points)
+        save_plan(plan, directory)
+        run_all_shards(plan, directory)
+
+        status = shard_status(directory)
+        assert status["mergeable"]
+        merged = merge_shards(directory)
+        assert isinstance(merged, MergeResult)
+        assert merged.num_rows == len(points)
+        assert merged.csv_path.read_bytes() == unsharded_csv.read_bytes()
+        assert merged.json_path.read_bytes() == unsharded_json.read_bytes()
+
+    def test_cost_weighted_merge_is_byte_identical(self, tmp_path, shared_cache):
+        points = mini_points()
+        unsharded_csv, _ = run_unsharded(points, tmp_path)
+        directory = tmp_path / "cost-plan"
+        plan = ShardPlanner(3, policy="cost-weighted").plan(points)
+        save_plan(plan, directory)
+        run_all_shards(plan, directory)
+        merged = merge_shards(directory)
+        assert merged.csv_path.read_bytes() == unsharded_csv.read_bytes()
+
+    def test_merge_refuses_incomplete_plan(self, tmp_path, shared_cache):
+        points = mini_points(num_trajectories=2)
+        directory = tmp_path / "partial"
+        plan = ShardPlanner(3).plan(points)
+        save_plan(plan, directory)
+        run_shard(plan, 0, directory, runner=SweepRunner(max_workers=1))
+        with pytest.raises(ShardError, match="has not run|not yet evaluated"):
+            merge_shards(directory)
+        status = shard_status(directory)
+        assert not status["mergeable"]
+        assert status["completed"] == len(plan.assignments[0])
+
+
+class TestKillAndResume:
+    def test_killed_shard_resumes_from_manifest_without_recompiling(
+        self, tmp_path, shared_cache, monkeypatch
+    ):
+        points = mini_points()
+        directory = tmp_path / "resume"
+        plan = ShardPlanner(1).plan(points)
+        save_plan(plan, directory)
+
+        # Kill the shard (BaseException, as a SIGINT would surface) after two
+        # points have been evaluated and checkpointed.
+        real_evaluate = sweep_mod.evaluate_point
+        calls = {"n": 0}
+
+        def dying_evaluate(point):
+            if calls["n"] >= 2:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return real_evaluate(point)
+
+        monkeypatch.setattr(sweep_mod, "evaluate_point", dying_evaluate)
+        with pytest.raises(KeyboardInterrupt):
+            run_shard(plan, 0, directory, runner=SweepRunner(max_workers=1))
+        monkeypatch.setattr(sweep_mod, "evaluate_point", real_evaluate)
+
+        manifest = ShardManifest.load(directory, 0)
+        assert len(manifest.completed) == 2
+        # Completed entries record the durable point keys.
+        assert set(manifest.completed.values()) == {point_key(points[0]), point_key(points[1])}
+
+        # Resume in a "fresh process": drop the in-memory cache front so any
+        # recompilation would have to go through the disk layer and the log.
+        reset_cache()
+        counted = {"n": 0}
+
+        def counting_evaluate(point):
+            counted["n"] += 1
+            return real_evaluate(point)
+
+        monkeypatch.setattr(sweep_mod, "evaluate_point", counting_evaluate)
+        report = run_shard(plan, 0, directory, runner=SweepRunner(max_workers=1))
+        assert report.ok
+        assert report.num_resumed == 2
+        assert report.num_completed == len(points) - 2
+        assert counted["n"] == len(points) - 2  # completed points never re-evaluated
+
+        # No key was ever compiled twice: the resumed shard reused every
+        # artifact the killed run (or the planner) had already published.
+        keys = compile_log_keys(shared_cache)
+        assert len(keys) == len(set(keys))
+
+        merged = merge_shards(directory)
+        unsharded_csv, unsharded_json = run_unsharded(points, tmp_path)
+        assert merged.csv_path.read_bytes() == unsharded_csv.read_bytes()
+        assert merged.json_path.read_bytes() == unsharded_json.read_bytes()
+
+    def test_failure_is_recorded_and_retried_on_resume(self, tmp_path, shared_cache, monkeypatch):
+        points = mini_points(num_trajectories=2)
+        directory = tmp_path / "failures"
+        plan = ShardPlanner(2).plan(points)
+        save_plan(plan, directory)
+
+        real_evaluate = sweep_mod.evaluate_point
+        doomed = points[2].strategy  # lands on shard 0 under round-robin
+
+        def failing_evaluate(point):
+            if point.strategy == doomed:
+                raise CompilationError("injected failure", gate="CCX", pass_name="emit")
+            return real_evaluate(point)
+
+        monkeypatch.setattr(sweep_mod, "evaluate_point", failing_evaluate)
+        report = run_shard(plan, 0, directory, runner=SweepRunner(max_workers=1))
+        assert not report.ok
+        [record] = report.failures
+        assert record["point_key"] == point_key(points[2])
+        assert record["index"] == 2
+        assert record["error_type"] == "CompilationError"
+        assert record["pass"] == "emit"
+        assert "CCX" in record["gate"]
+
+        run_shard(plan, 1, directory, runner=SweepRunner(max_workers=1))
+        status = shard_status(directory)
+        assert status["failed"] == 1 and not status["mergeable"]
+        with pytest.raises(ShardError, match="failed"):
+            merge_shards(directory)
+
+        # The fault is fixed; resuming retries exactly the failed point and
+        # clears its stale failure record.
+        monkeypatch.setattr(sweep_mod, "evaluate_point", real_evaluate)
+        report = run_shard(plan, 0, directory, runner=SweepRunner(max_workers=1))
+        assert report.ok and report.num_completed == 1
+        assert shard_status(directory)["mergeable"]
+        merged = merge_shards(directory)
+        unsharded_csv, _ = run_unsharded(points, tmp_path)
+        assert merged.csv_path.read_bytes() == unsharded_csv.read_bytes()
+
+    def test_stale_manifest_is_rejected(self, tmp_path, shared_cache):
+        points = mini_points(num_trajectories=0)
+        directory = tmp_path / "stale"
+        plan = ShardPlanner(2).plan(points)
+        save_plan(plan, directory)
+        run_shard(plan, 0, directory, runner=SweepRunner(max_workers=1))
+
+        other_plan = ShardPlanner(2).plan(mini_points(num_trajectories=1))
+        with pytest.raises(ShardError, match="different plan"):
+            run_shard(other_plan, 0, directory, runner=SweepRunner(max_workers=1))
+
+    def test_failure_key_matches_plan_key_under_multicore_scheduling(
+        self, tmp_path, shared_cache, monkeypatch
+    ):
+        # One simulated point + max_workers=2 triggers trajectory-level
+        # scheduling, which annotates the point with workers=2 before
+        # evaluation.  The failure record must still carry the *plan's* point
+        # key, or the resume-time purge would never clear it and the shard
+        # could never merge again.
+        points = [
+            SweepPoint(workload="cnu", size=5, strategy="QUBIT_ONLY", num_trajectories=2, seed=1)
+        ]
+        directory = tmp_path / "multicore"
+        plan = ShardPlanner(1).plan(points)
+        save_plan(plan, directory)
+
+        real_evaluate = sweep_mod.evaluate_point
+
+        def failing_evaluate(point):
+            raise CompilationError("injected failure", gate="X(0)", pass_name="emit")
+
+        monkeypatch.setattr(sweep_mod, "evaluate_point", failing_evaluate)
+        runner = SweepRunner(max_workers=2)
+        scheduled, trajectory_level = runner.schedule(points)
+        assert trajectory_level and scheduled[0].workers == 2  # the annotation happened
+        report = run_shard(plan, 0, directory, runner=runner)
+        [record] = report.failures
+        assert record["point_key"] == point_key(points[0])
+
+        # The retry on resume purges the stale record and the shard merges.
+        monkeypatch.setattr(sweep_mod, "evaluate_point", real_evaluate)
+        report = run_shard(plan, 0, directory, runner=SweepRunner(max_workers=2))
+        assert report.ok
+        assert shard_status(directory)["mergeable"]
+
+    def test_status_does_not_count_stale_manifests_as_progress(self, tmp_path, shared_cache):
+        points = mini_points(num_trajectories=0)
+        directory = tmp_path / "replanned"
+        plan = ShardPlanner(2).plan(points)
+        save_plan(plan, directory)
+        run_all_shards(plan, directory)
+        assert shard_status(directory)["mergeable"]
+
+        # Re-plan the directory from a different grid: the old manifests must
+        # read as stale (zero progress), never as phantom completion that
+        # merge would then reject.
+        save_plan(ShardPlanner(2).plan(mini_points(num_trajectories=1)), directory)
+        status = shard_status(directory)
+        assert not status["mergeable"]
+        assert status["completed"] == 0
+        assert all(entry["stale"] and not entry["started"] for entry in status["shards"])
+
+
+# ---------------------------------------------------------------------------
+# shared-cache behavior across shards (satellite: concurrent-shard cache)
+# ---------------------------------------------------------------------------
+
+
+def seed_grid():
+    """Four points sharing one compilation and one trajectory-program key.
+
+    Only the RNG seed varies (the per-point sampling, not any compiled
+    artifact), so every shard of this grid needs exactly the same cached
+    artifacts — the sharpest probe of cross-shard cache sharing.
+    """
+    return [
+        SweepPoint(
+            workload="cnu",
+            size=5,
+            strategy="MIXED_RADIX_CCZ",
+            num_trajectories=2,
+            seed=seed,
+            axis=float(seed),
+        )
+        for seed in range(4)
+    ]
+
+
+class TestSharedCacheAcrossShards:
+    def test_two_shards_compile_each_unique_key_at_most_once(self, tmp_path, shared_cache):
+        points = seed_grid()
+        directory = tmp_path / "two-shards"
+        plan = ShardPlanner(2).plan(points)
+        save_plan(plan, directory)
+
+        run_shard(plan, 0, directory, runner=SweepRunner(max_workers=1))
+        keys_after_first = compile_log_keys(shared_cache)
+        assert keys_after_first, "the cold shard must have compiled something"
+
+        # Shard 1 runs as a separate process on the same host would: no
+        # shared memory front, only the disk layer under REPRO_CACHE_DIR.
+        reset_cache()
+        run_shard(plan, 1, directory, runner=SweepRunner(max_workers=1))
+        keys = compile_log_keys(shared_cache)
+        assert keys == keys_after_first, "the warm shard must not recompile anything"
+        assert len(keys) == len(set(keys))
+        assert get_cache().stats.disk_hits >= 1
+
+        merged = merge_shards(directory)
+        unsharded_csv, _ = run_unsharded(points, tmp_path)
+        assert merged.csv_path.read_bytes() == unsharded_csv.read_bytes()
+
+    def test_corrupted_cache_entry_falls_back_to_clean_recompile(self, tmp_path, shared_cache):
+        points = seed_grid()
+        directory = tmp_path / "first"
+        plan = ShardPlanner(2).plan(points)
+        save_plan(plan, directory)
+        run_shard(plan, 1, directory, runner=SweepRunner(max_workers=1))
+        clean_rows = (shard_mod._rows_path(directory, 1)).read_bytes()
+        keys_before = compile_log_keys(shared_cache)
+
+        # Corrupt every published artifact, then rerun the same points with a
+        # cold memory front and a fresh manifest: the cache must treat the
+        # torn entries as misses and recompile to identical results.
+        corrupted = 0
+        for artifact in shared_cache.rglob("*.pkl"):
+            artifact.write_bytes(b"not a pickle")
+            corrupted += 1
+        assert corrupted >= 1
+        reset_cache()
+        report = run_shard(
+            plan, 1, directory, runner=SweepRunner(max_workers=1), resume=False
+        )
+        assert report.ok
+        assert (shard_mod._rows_path(directory, 1)).read_bytes() == clean_rows
+        assert len(compile_log_keys(shared_cache)) > len(keys_before)
+        assert get_cache().stats.disk_errors >= 1
+
+
+# ---------------------------------------------------------------------------
+# command-line interfaces
+# ---------------------------------------------------------------------------
+
+
+class TestCommandLine:
+    def test_plan_run_status_merge_cycle(self, tmp_path, shared_cache, capsys):
+        directory = tmp_path / "cli"
+        assert (
+            shard_mod.main(
+                ["plan", "--grid", "fig7-mini", "--shards", "3", "--dir", str(directory)]
+            )
+            == 0
+        )
+        assert (directory / "plan.json").exists()
+        for shard_id in range(3):
+            assert (
+                shard_mod.main(
+                    ["run", "--dir", str(directory), "--shard-id", str(shard_id), "--max-workers", "1"]
+                )
+                == 0
+            )
+        assert shard_mod.main(["status", "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        status = json.loads(out[out.index("{"):])
+        assert status["mergeable"]
+        assert shard_mod.main(["merge", "--dir", str(directory)]) == 0
+
+        points = shard_mod._grid_points("fig7-mini")
+        unsharded_csv, _ = run_unsharded(points, tmp_path)
+        assert (directory / "merged.csv").read_bytes() == unsharded_csv.read_bytes()
+
+    def test_unknown_grid_errors(self, tmp_path):
+        rc = shard_mod.main(
+            ["plan", "--grid", "fig0", "--shards", "2", "--dir", str(tmp_path / "x")]
+        )
+        assert rc == 2
+
+    def test_fidelity_sweep_driver_shard_flags(self, tmp_path, shared_cache):
+        from repro.experiments import fidelity_sweep
+
+        directory = tmp_path / "driver"
+        base = ["--workloads", "cnu", "--sizes", "5", "--trajectories", "2"]
+        shard_flags = ["--shards", "2", "--dir", str(directory), "--max-workers", "1"]
+        assert fidelity_sweep.main(base + shard_flags + ["--shard-id", "0"]) == 0
+        assert fidelity_sweep.main(base + shard_flags + ["--shard-id", "1"]) == 0
+        merged_csv = tmp_path / "driver-merged.csv"
+        assert (
+            fidelity_sweep.main(
+                base + ["--shards", "2", "--dir", str(directory), "--merge", "--csv", str(merged_csv)]
+            )
+            == 0
+        )
+
+        unsharded_csv = tmp_path / "driver-unsharded.csv"
+        assert fidelity_sweep.main(base + ["--csv", str(unsharded_csv), "--max-workers", "1"]) == 0
+        assert merged_csv.read_bytes() == unsharded_csv.read_bytes()
+
+    def test_driver_requires_dir_when_sharding(self):
+        from repro.experiments import fidelity_sweep
+
+        rc = fidelity_sweep.main(
+            ["--workloads", "cnu", "--sizes", "5", "--trajectories", "0", "--shards", "2"]
+        )
+        assert rc == 2
+
+    def test_driver_rejects_mismatched_grid_flags(self, tmp_path, shared_cache):
+        from repro.experiments import fidelity_sweep
+
+        directory = tmp_path / "mismatch"
+        base = ["--workloads", "cnu", "--sizes", "5", "--trajectories", "0"]
+        flags = ["--shards", "2", "--dir", str(directory), "--max-workers", "1"]
+        assert fidelity_sweep.main(base + flags + ["--shard-id", "0"]) == 0
+
+        # Different grid flags against the same --dir must error — for the
+        # run path *and* for --merge, which would otherwise silently merge
+        # the stored grid under the new flags' name.
+        other = ["--workloads", "cnu", "--sizes", "5", "--trajectories", "3"]
+        assert fidelity_sweep.main(other + flags + ["--shard-id", "1"]) == 2
+        assert fidelity_sweep.main(other + ["--dir", str(directory), "--merge"]) == 2
+        # Matching grid but a different shard count is also rejected for run.
+        wrong_count = ["--shards", "3", "--dir", str(directory), "--shard-id", "1"]
+        assert fidelity_sweep.main(base + wrong_count) == 2
+
+    def test_driver_merge_requires_a_plan(self, tmp_path):
+        from repro.experiments import fidelity_sweep
+
+        rc = fidelity_sweep.main(
+            ["--workloads", "cnu", "--sizes", "5", "--trajectories", "0",
+             "--dir", str(tmp_path / "empty"), "--merge"]
+        )
+        assert rc == 2
+
+    def test_driver_merge_on_incomplete_plan_is_a_clean_error(self, tmp_path, shared_cache):
+        # An early --merge must print a clean error (exit 2), not dump the
+        # ShardError traceback the raw merge_shards call would raise.
+        from repro.experiments import fidelity_sweep
+
+        directory = tmp_path / "early-merge"
+        base = ["--workloads", "cnu", "--sizes", "5", "--trajectories", "0"]
+        flags = ["--shards", "2", "--dir", str(directory), "--max-workers", "1"]
+        assert fidelity_sweep.main(base + flags + ["--shard-id", "0"]) == 0
+        assert fidelity_sweep.main(base + ["--dir", str(directory), "--merge"]) == 2
+
+    def test_cswap_driver_plans_without_running(self, tmp_path, shared_cache):
+        from repro.experiments import cswap_study
+
+        directory = tmp_path / "cswap"
+        rc = cswap_study.main(
+            ["--sizes", "5", "--trajectories", "1", "--shards", "2", "--dir", str(directory)]
+        )
+        assert rc == 0
+        plan = load_plan(directory)
+        assert plan.num_shards == 2
+        assert len(plan.points) == 7  # seven Figure 9a strategies

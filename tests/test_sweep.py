@@ -1,16 +1,22 @@
 """Tests for the parallel sweep engine (repro.experiments.sweep)."""
 
 import json
+from dataclasses import replace
 
 import numpy as np
 import pytest
 
+from repro.core.emitter import CompilationError
 from repro.core.strategies import Strategy
+from repro.experiments import sweep as sweep_mod
 from repro.experiments.sweep import (
+    PointFailure,
+    SweepFailure,
     SweepPoint,
     SweepRunner,
     _compiled,
     evaluate_point,
+    point_key,
     point_seeds,
     sweep_rows,
     write_csv,
@@ -98,6 +104,12 @@ class TestSweepRunner:
         runner = SweepRunner(max_workers=1)
         assert runner.map(abs, [-1, -2, 3]) == [1, 2, 3]
 
+    def test_windowed_map_preserves_order_beyond_the_window(self):
+        # More tasks than the 2-per-worker submission window: results must
+        # still stream back in input order as the window refills.
+        tasks = list(range(-12, 0))
+        assert SweepRunner(max_workers=2).map(abs, tasks) == [abs(t) for t in tasks]
+
     def test_artifacts(self, tmp_path):
         points = _points(num_trajectories=2)
         csv_path = tmp_path / "sweep.csv"
@@ -123,6 +135,83 @@ class TestSweepRunner:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             SweepRunner(max_workers=0)
+
+
+class TestFailureAttribution:
+    """A dead point must surface with its key, not as an anonymous traceback."""
+
+    def _fail_strategy(self, monkeypatch, doomed: str):
+        real_evaluate = sweep_mod.evaluate_point
+
+        def failing_evaluate(point):
+            if point.strategy == doomed:
+                raise CompilationError("injected failure", gate="CCX(0,1,2)", pass_name="route")
+            return real_evaluate(point)
+
+        monkeypatch.setattr(sweep_mod, "evaluate_point", failing_evaluate)
+
+    def test_run_records_failed_point_key(self, tmp_path, monkeypatch):
+        points = _points(num_trajectories=0)
+        doomed = points[2]
+        self._fail_strategy(monkeypatch, doomed.strategy)
+        csv_path = tmp_path / "sweep.csv"
+        runner = SweepRunner(max_workers=1, csv_path=csv_path)
+
+        with pytest.raises(SweepFailure) as excinfo:
+            runner.run(points)
+        [failure] = excinfo.value.failures
+        assert isinstance(failure, PointFailure)
+        assert failure.point_key == point_key(doomed)
+        assert failure.point == doomed
+        assert failure.error_type == "CompilationError"
+        assert failure.pass_name == "route"
+        assert doomed.strategy in str(excinfo.value)
+
+        # The failure artifact is written next to the configured outputs and
+        # names the point durably; the data artifact itself is withheld.
+        payload = json.loads((tmp_path / "sweep.failures.json").read_text())
+        assert payload == [failure.as_record()]
+        assert payload[0]["point_key"] == point_key(doomed)
+        assert payload[0]["strategy"] == doomed.strategy
+        assert not csv_path.exists()
+
+    def test_failures_do_not_abort_remaining_points(self, monkeypatch):
+        points = _points(num_trajectories=0)
+        self._fail_strategy(monkeypatch, points[0].strategy)
+        runner = SweepRunner(max_workers=1)
+        outcomes = dict(runner.iter_evaluate(points))
+        assert isinstance(outcomes[0], PointFailure)
+        # All later points still evaluated normally despite the earlier death.
+        assert all(not isinstance(outcomes[i], PointFailure) for i in range(1, len(points)))
+
+    def test_explicit_failures_path(self, tmp_path, monkeypatch):
+        points = _points(num_trajectories=0)
+        self._fail_strategy(monkeypatch, points[1].strategy)
+        failures_path = tmp_path / "deaths.json"
+        runner = SweepRunner(max_workers=1, failures_path=failures_path)
+        with pytest.raises(SweepFailure):
+            runner.run(points)
+        assert json.loads(failures_path.read_text())[0]["strategy"] == points[1].strategy
+
+
+class TestPointKey:
+    def test_key_ignores_scheduling_only_fields(self):
+        # SweepRunner.schedule annotates `workers` with a machine-dependent
+        # count; the key must not change, or failure records written on a
+        # multi-core host would never match the plan's manifest keys.
+        point = _points()[0]
+        assert point_key(replace(point, workers=8)) == point_key(point)
+
+    def test_key_is_stable_and_field_sensitive(self):
+        point = _points()[0]
+        assert point_key(point) == point_key(point)
+        for changed in (
+            SweepPoint(**{**point.__dict__, "seed": point.seed + 1}),
+            SweepPoint(**{**point.__dict__, "error_factor": 2.0}),
+            SweepPoint(**{**point.__dict__, "strategy": "FULL_QUQUART"}),
+            SweepPoint(**{**point.__dict__, "workload_kwargs": (("depth", 3),)}),
+        ):
+            assert point_key(changed) != point_key(point)
 
 
 class TestSeeds:

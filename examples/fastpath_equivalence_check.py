@@ -1,0 +1,102 @@
+"""CI gate: the no-jump fast path must be bit-for-bit equal to the slow path.
+
+Runs the Figure 7 mini-grid three times against one ``$REPRO_CACHE_DIR``:
+
+1. **fast path, cold** — the default configuration: builds the no-jump
+   checkpoint records and publishes them to the shared artifact store,
+2. **slow path** — the ``REPRO_NO_FASTPATH=1`` escape hatch: the explicit
+   loop/batched evolution with no records involved,
+3. **fast path, warm** — the in-process record front is dropped first, so
+   every record must come back from the *disk* layer, the way a repeated
+   sweep, a resumed shard or a second CI run would see it.
+
+The check fails unless all three CSV **and** JSON artifacts are
+byte-identical, the warm pass reports checkpoint-record disk hits, and
+neither fast-path pass recompiled any compilation artifact the first pass
+had already cached (audited through the cache's ``compile-log.txt`` —
+trajectory records deliberately never appear in that log).
+
+Usage::
+
+    PYTHONPATH=src REPRO_CACHE_DIR=/tmp/repro-cache \
+        python examples/fastpath_equivalence_check.py
+"""
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main() -> int:
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print("error: REPRO_CACHE_DIR must be set for the fastpath-equivalence check")
+        return 2
+    os.environ.pop("REPRO_NO_FASTPATH", None)
+
+    from repro.core.compile_cache import get_cache
+    from repro.experiments.fidelity_sweep import run_fidelity_sweep
+    from repro.experiments.sweep import SweepRunner
+    from repro.noise.fastpath import fastpath_enabled, get_record_store
+    from repro.noise.fastpath import stats as fastpath_stats
+
+    if not fastpath_enabled():
+        print("error: the fast path must be enabled (unset REPRO_NO_FASTPATH)")
+        return 2
+
+    out_dir = Path(tempfile.mkdtemp(prefix="fastpath-equivalence-"))
+    grid = dict(workloads=("cnu",), sizes=(5,), num_trajectories=4, rng=0)
+
+    def run(tag: str) -> tuple[Path, Path]:
+        csv_path = out_dir / f"{tag}.csv"
+        json_path = out_dir / f"{tag}.json"
+        run_fidelity_sweep(
+            **grid, runner=SweepRunner(max_workers=1, csv_path=csv_path, json_path=json_path)
+        )
+        return csv_path, json_path
+
+    # Pass 1: fast path, cold — builds checkpoint records into the store.
+    fast_csv, fast_json = run("fastpath")
+    cache = get_cache()
+    log_path = cache.directory / "compile-log.txt"
+    compiles_after_fast = len(log_path.read_text().splitlines())
+
+    # Pass 2: the escape hatch — the explicit slow path.
+    os.environ["REPRO_NO_FASTPATH"] = "1"
+    slow_csv, slow_json = run("slow")
+    del os.environ["REPRO_NO_FASTPATH"]
+
+    # Pass 3: fast path, warm — records must come back from the disk layer.
+    get_record_store().clear_memory()
+    cache.clear_memory()
+    hits_before = fastpath_stats()["record_disk_hits"]
+    warm_csv, warm_json = run("warm")
+    record_hits = fastpath_stats()["record_disk_hits"] - hits_before
+
+    recompiles = len(log_path.read_text().splitlines()) - compiles_after_fast
+    fast_bytes = fast_csv.read_bytes()
+    csv_identical = fast_bytes == slow_csv.read_bytes() == warm_csv.read_bytes()
+    json_bytes = fast_json.read_bytes()
+    json_identical = json_bytes == slow_json.read_bytes() == warm_json.read_bytes()
+    print(
+        f"fast-vs-slow-vs-warm identical CSV: {csv_identical}, identical JSON: "
+        f"{json_identical}, warm-pass record disk hits: {record_hits}, "
+        f"recompilations after pass 1: {recompiles}"
+    )
+
+    if not csv_identical or not json_identical:
+        print("FAIL: the fast path changed sweep output bytes")
+        return 1
+    if record_hits < 1:
+        print("FAIL: the warm pass never hit the checkpoint-record disk layer")
+        return 1
+    if recompiles > 0:
+        print("FAIL: a later pass recompiled artifacts the first pass already cached")
+        return 1
+    print("OK: fast path is byte-identical to the slow path and reuses checkpoint records")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,9 @@ CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 
 #: Bump whenever the layout of cached artifacts or of the key tokens
 #: changes; old artifacts then miss instead of deserializing garbage.
-CACHE_SCHEMA_VERSION = 1
+#: v2: trajectory programs carry precomputed idle-step tables and the
+#: fusion flag, and the cache gained no-jump fast-path checkpoint records.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default capacity of the in-process LRU front (artifacts, not bytes).
 DEFAULT_MEMORY_ENTRIES = 256
@@ -278,6 +280,35 @@ class CompileCache:
                 pass
             return None
 
+    # -- disk-only access ---------------------------------------------------------
+    def disk_get(self, key: str) -> Any | None:
+        """Fetch an artifact from the disk layer only, bypassing the LRU front.
+
+        Large per-trajectory artifacts (the fast path's no-jump checkpoint
+        records) keep their own byte-budgeted memory store; routing them
+        through :meth:`get` would evict compilations from the entry-counted
+        front.  Returns ``None`` without a disk layer.
+        """
+        if self.directory is None:
+            return None
+        value = self._disk_get(key)
+        if value is not None:
+            self.stats.disk_hits += 1
+        return value
+
+    def disk_put(self, key: str, value: Any) -> None:
+        """Publish an artifact to the disk layer only (best effort, atomic).
+
+        Unlike :meth:`put` this neither touches the memory front nor appends
+        to ``compile-log.txt``: the log is an audit of *compilations*, and
+        the reuse gates count its lines.  A no-op without a disk layer.
+        """
+        if value is None:
+            raise ValueError("None is not a cacheable artifact")
+        if self.directory is None:
+            return
+        self._disk_write(key, value)
+
     # -- store ------------------------------------------------------------------
     def put(self, key: str, value: Any) -> None:
         """Store an artifact in the memory front and (best effort) on disk."""
@@ -287,6 +318,9 @@ class CompileCache:
         self.stats.puts += 1
         if self.directory is None:
             return
+        self._disk_write(key, value)
+
+    def _disk_write(self, key: str, value: Any) -> None:
         path = self.path_for(key)
         temp_name = None
         try:

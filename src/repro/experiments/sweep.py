@@ -19,6 +19,14 @@ one engine:
 Results are independent of the worker count and of the batch size: each
 point owns a seed, every trajectory draws from its own spawned stream, and
 the batched engine is bit-for-bit equivalent to the loop path.
+
+Simulated points run through the checkpointed no-jump fast path by default
+(:mod:`repro.noise.fastpath`): the deterministic no-jump prefix of each
+trajectory is memoized — and, with ``$REPRO_CACHE_DIR``, persisted next to
+the compilations — so repeated sweeps, resumed shards and the CI double
+runs replay records instead of re-evolving statevectors.  The fast path is
+bit-for-bit identical to the explicit engines; ``REPRO_NO_FASTPATH=1`` is
+the escape hatch back to them.
 """
 
 from __future__ import annotations

@@ -5,6 +5,8 @@ from repro.noise.channels import (
     qudit_amplitude_damping,
     sample_depolarizing_error,
 )
+from repro.noise.fastpath import fastpath_enabled, reset_fastpath
+from repro.noise.fastpath import stats as fastpath_stats
 from repro.noise.model import NoiseModel
 from repro.noise.trajectory import (
     TrajectoryResult,
@@ -17,7 +19,10 @@ __all__ = [
     "TrajectoryResult",
     "TrajectorySimulator",
     "depolarizing_operators",
+    "fastpath_enabled",
+    "fastpath_stats",
     "qudit_amplitude_damping",
+    "reset_fastpath",
     "sample_depolarizing_error",
     "simulate_fidelity",
 ]

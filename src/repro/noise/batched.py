@@ -31,7 +31,7 @@ from repro.noise.program import (
     TrajectoryProgram,
     apply_kernel_batch,
     cached_compile_program,
-    device_populations,
+    device_populations_batch,
     draw_idle_choice,
     jump_scale,
     no_jump_scales,
@@ -74,10 +74,11 @@ class BatchedTrajectoryEngine:
     ) -> np.ndarray:
         batch = states.shape[0]
         left, d, right = step.reshape
-        # Populations are reduced per row with the scalar helper: multi-axis
-        # reductions over a batched tensor are not reliably bit-identical to
-        # their per-slice counterparts, and the loop path is the reference.
-        populations = [device_populations(states[index], step) for index in range(batch)]
+        # One batched contraction replaces the per-row population loop: the
+        # batch axis is outermost, so each row accumulates over the identical
+        # elements in the identical order as the scalar helper (pinned by the
+        # loop-equivalence suite and the fast-path property tests).
+        populations = device_populations_batch(states, step)
 
         # Per-level scale of each trajectory's update; identity rows (skipped
         # draws) keep scale 1, which multiplies exactly.  Jumps are rare and
@@ -156,12 +157,33 @@ class BatchedTrajectoryEngine:
         self, states: np.ndarray, streams: Sequence[np.random.Generator]
     ) -> np.ndarray:
         """Evolve a ``(batch, dim)`` block with per-trajectory stochastic noise."""
+        return self.resume_trajectories(states, streams, start=0)
+
+    def resume_trajectories(
+        self,
+        states: np.ndarray,
+        streams: Sequence[np.random.Generator],
+        start: int = 0,
+        stop: int | None = None,
+    ) -> np.ndarray:
+        """Evolve a block through the program's steps ``[start, stop)``.
+
+        This is how the fast path resumes deviating trajectories: whole
+        sub-batches restored from a checkpoint re-enter the unmodified
+        per-step loop at their first-deviation segment, with each row's live
+        stream already advanced to that point (later-deviating sub-batches
+        are concatenated at their own segment boundary, so one growing block
+        replays every suffix).  ``start=0``/``stop=None`` is the full
+        :meth:`run_trajectories` evolution.
+        """
         backend = self.backend
         if states.shape[0] != len(streams):
             raise ValueError("need exactly one RNG stream per trajectory")
+        if not 0 <= start <= len(self.program.steps):
+            raise ValueError(f"start must be a step index, got {start}")
         states = self._to_work(states)
         scratch = backend.empty_like(states)
-        for step in self.program.steps:
+        for step in self.program.steps[start:stop]:
             if isinstance(step, GateStep):
                 result = apply_kernel_batch(
                     states, step.kernel, self.program.dims, out=scratch, backend=backend
@@ -188,12 +210,35 @@ class BatchedTrajectoryEngine:
         self,
         streams: Sequence[np.random.Generator],
         sampler: Callable[[np.random.Generator], np.ndarray],
+        fastpath: bool | None = None,
     ) -> list[float]:
         """Sample one initial state per stream and return per-trajectory fidelities.
 
-        Each stream is consumed in the same order as the loop path: first the
-        initial-state draw, then that trajectory's noise decisions.
+        Every value consumed from a stream is consumed in the loop path's
+        order: first the initial-state draw, then that trajectory's noise
+        decisions.
+
+        ``fastpath=None`` honors the process default (the checkpointed
+        no-jump fast path, unless ``REPRO_NO_FASTPATH`` is set); the
+        returned fidelities are bit-for-bit identical either way — only the
+        work changes.  Streams are single-trajectory-use: the fast path
+        replays most decisions on cloned generators, so a live stream's
+        *final position* may differ from the slow path's (a clean
+        trajectory's stream stops right after its state draw).  No caller
+        may draw from a stream after its trajectory finished.
         """
+        from repro.noise.fastpath import fastpath_enabled, run_fastpath_fidelities
+
+        if fastpath_enabled(fastpath):
+            return run_fastpath_fidelities(
+                physical=self.physical,
+                noise_model=self.noise_model,
+                program=self.program,
+                backend=self.backend,
+                streams=list(streams),
+                sampler=sampler,
+                block_size=len(streams) or 1,
+            )
         initials = np.array([sampler(stream) for stream in streams], dtype=np.complex128)
         ideal = self.run_ideal(initials)
         noisy = self.run_trajectories(initials, streams)

@@ -15,7 +15,14 @@ is pickled instead (custom samplers must then be picklable; passing
 ``sampler=None`` makes each worker rebuild the default Haar sampler).
 
 Each worker compiles the trajectory program once (in its initializer-built
-simulator) and reuses it for every chunk it processes.
+simulator) and reuses it for every chunk it processes.  The checkpointed
+no-jump fast path (:mod:`repro.noise.fastpath`) runs inside each worker
+exactly as it does single-process: forked workers inherit the parent's
+compiled program, kernels and any pre-built checkpoint records as read-only
+copy-on-write pages, and with ``$REPRO_CACHE_DIR`` set all workers share
+checkpoint records through the disk layer — again only moving work, never
+bits (``tests/test_fastpath.py`` pins workers-independence with the fast
+path on).
 """
 
 from __future__ import annotations
@@ -70,13 +77,17 @@ def _make_context(
     batch_size: int | None,
     backend_spec: tuple[str, dict],
     fuse: bool,
+    fastpath: bool | None = None,
 ) -> dict:
     from repro.backends import build_backend
     from repro.noise.trajectory import TrajectorySimulator, _default_state_sampler
 
     name, kwargs = backend_spec
     simulator = TrajectorySimulator(
-        noise_model=noise_model, backend=build_backend(name, kwargs), fuse=fuse
+        noise_model=noise_model,
+        backend=build_backend(name, kwargs),
+        fuse=fuse,
+        fastpath=fastpath,
     )
     return {
         "simulator": simulator,
@@ -86,9 +97,13 @@ def _make_context(
     }
 
 
-def _init_worker(physical, noise_model, sampler, batch_size, backend_spec, fuse) -> None:
+def _init_worker(
+    physical, noise_model, sampler, batch_size, backend_spec, fuse, fastpath
+) -> None:
     global _WORKER
-    _WORKER = _make_context(physical, noise_model, sampler, batch_size, backend_spec, fuse)
+    _WORKER = _make_context(
+        physical, noise_model, sampler, batch_size, backend_spec, fuse, fastpath
+    )
 
 
 def _run_chunk(task: tuple[int, list[np.random.Generator]]) -> tuple[int, list[float]]:
@@ -120,6 +135,7 @@ def run_parallel_fidelities(
     backend: str | tuple[str, dict] = "numpy",
     fuse: bool = True,
     host_memory: bool = True,
+    fastpath: bool | None = None,
 ) -> list[float]:
     """Per-trajectory fidelities of ``streams``, fanned across processes.
 
@@ -134,13 +150,15 @@ def run_parallel_fidelities(
     backend_spec = (backend, {}) if isinstance(backend, str) else backend
     workers = min(resolve_workers(workers), len(streams))
     if workers <= 1:
-        context = _make_context(physical, noise_model, sampler, batch_size, backend_spec, fuse)
+        context = _make_context(
+            physical, noise_model, sampler, batch_size, backend_spec, fuse, fastpath
+        )
         return context["simulator"]._fidelities_for_streams(
             context["physical"], streams, context["sampler"], context["batch_size"]
         )
     chunks = split_chunks(len(streams), workers)
     tasks = [(start, streams[start:stop]) for start, stop in chunks]
-    payload = (physical, noise_model, sampler, batch_size, backend_spec, fuse)
+    payload = (physical, noise_model, sampler, batch_size, backend_spec, fuse, fastpath)
     by_start: dict[int, list[float]] = {}
     with ProcessPoolExecutor(
         max_workers=workers,

@@ -48,6 +48,7 @@ import numpy as np
 from repro.backends import get_backend
 from repro.backends.base import ArrayBackend
 from repro.core.physical import PhysicalCircuit, PhysicalOp
+from repro.noise.channels import sample_depolarizing_error_factors
 from repro.noise.model import NoiseModel
 from repro.qudit.unitaries import embed_qubit_unitary
 
@@ -57,6 +58,12 @@ __all__ = [
     "TrajectoryProgram",
     "cached_compile_program",
     "compile_program",
+    "device_populations",
+    "device_populations_batch",
+    "idle_no_jump_terms",
+    "no_jump_scales",
+    "no_jump_scales_batch",
+    "program_fingerprint",
 ]
 
 #: Largest number of cached full-register gather indices per program (each is
@@ -367,7 +374,14 @@ class GateStep:
 
 @dataclass
 class IdleStep:
-    """An idle window on one device with precomputed damping data."""
+    """An idle window on one device with precomputed damping data.
+
+    ``weights`` / ``sqrt_weights`` are the no-jump Kraus tables derived from
+    ``lambdas`` once at program-compile time, so neither the per-step scale
+    computation nor the fast path's vectorized variants rebuild them per
+    trajectory (the values are exactly the ones the scale helpers used to
+    compute inline, so nothing changes numerically).
+    """
 
     device: int
     dim: int
@@ -375,6 +389,14 @@ class IdleStep:
     lambdas: list[float]
     outcomes: list[int]
     reshape: tuple[int, int, int]  # (left, d, right) of the device axis
+    weights: tuple[float, ...] = None  # (1, 1-l_1, ...): no-jump Kraus weights
+    sqrt_weights: np.ndarray = None  # sqrt of the weights, as an array
+
+    def __post_init__(self) -> None:
+        if self.weights is None:
+            self.weights = (1.0,) + tuple(1.0 - lam for lam in self.lambdas)
+        if self.sqrt_weights is None:
+            self.sqrt_weights = np.array([math.sqrt(w) for w in self.weights])
 
 
 @dataclass
@@ -386,6 +408,7 @@ class TrajectoryProgram:
     dims: tuple[int, ...]
     steps: list[GateStep | IdleStep] = field(default_factory=list)
     ideal_steps: list[GateStep] = field(default_factory=list)
+    fuse: bool = True  # whether monomial fusion ran (part of the content key)
 
 
 def compile_program(
@@ -405,7 +428,7 @@ def compile_program(
     equivalent to the unfused one on both executors.
     """
     dims = tuple(physical.device_dims)
-    program = TrajectoryProgram(physical=physical, noise_model=noise_model, dims=dims)
+    program = TrajectoryProgram(physical=physical, noise_model=noise_model, dims=dims, fuse=fuse)
     schedule = physical.schedule()
     last_busy = {device: 0.0 for device in range(physical.num_devices)}
     modes = {
@@ -489,6 +512,21 @@ def _program_cache_key(physical: PhysicalCircuit, noise_model: NoiseModel, fuse:
             f"fuse:{fuse}",
         ]
     )
+
+
+def program_fingerprint(program: TrajectoryProgram) -> str:
+    """Stable content key of a compiled program (physical ops, noise, fusion).
+
+    This is the program part of the fast path's checkpoint-record keys: two
+    programs with the same fingerprint execute the identical event sequence
+    with the identical precomputed constants, so their no-jump evolutions of
+    any given input state are bit-for-bit interchangeable.
+    """
+    token = program.__dict__.get("_fingerprint")
+    if token is None:
+        token = _program_cache_key(program.physical, program.noise_model, program.fuse)
+        program.__dict__["_fingerprint"] = token
+    return token
 
 
 def cached_compile_program(
@@ -655,6 +693,74 @@ def device_populations(state: np.ndarray, step: IdleStep) -> np.ndarray:
     return np.einsum("ldr,ldr->d", floats, floats)
 
 
+def device_populations_batch(states: np.ndarray, step: IdleStep) -> np.ndarray:
+    """Per-row level populations of a C-contiguous ``(batch, dim)`` block.
+
+    One einsum replaces a Python loop of per-row contractions.  Row ``i`` of
+    the result is bit-for-bit :func:`device_populations` of row ``i``: the
+    batch axis is outermost, so the per-``(row, level)`` accumulation runs
+    over the identical ``(left, right)`` elements in the identical order
+    (asserted by ``tests/test_fastpath.py``).
+    """
+    left, d, right = step.reshape
+    floats = states.view(np.float64).reshape(states.shape[0], left, d, 2 * right)
+    return np.einsum("bldr,bldr->bd", floats, floats)
+
+
+def idle_no_jump_terms(
+    step: IdleStep, populations: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized ``(p0, total, consumes)`` of one idle draw per row.
+
+    ``populations`` is a ``(rows, d)`` block; the return values replicate
+    :func:`draw_idle_choice` exactly, element for element: a row consumes
+    one uniform iff ``total > 0``, and it takes the no-jump branch iff
+    ``u * total < p0`` — the identical float comparisons the scalar walk
+    performs, so replaying recorded populations against a trajectory's
+    uniforms reproduces its decisions bit for bit.  This is the per-step
+    reference of the replay arithmetic; the fast path's segment scan
+    (``repro.noise.fastpath._scan_segment``) repeats it with an event axis
+    and zero-padded levels — change both together.
+    """
+    rows = populations.shape[0]
+    decay_sum = np.zeros(rows)
+    decay_probs = []
+    for level in range(1, step.dim):
+        decay = step.lambdas[level - 1] * populations[:, level]
+        decay_probs.append(decay)
+        decay_sum = decay_sum + decay
+    no_decay = 1.0 - decay_sum
+    # np.maximum matches Python's max(no_decay, 0.0) element for element,
+    # including NaN propagation (both keep the NaN first argument).
+    p0 = np.maximum(no_decay, 0.0)
+    total = p0.copy()
+    for decay in decay_probs:
+        total = total + decay
+    consumes = ~(total <= 0.0)
+    return p0, total, consumes
+
+
+def no_jump_scales_batch(step: IdleStep, populations: np.ndarray) -> np.ndarray:
+    """Per-row no-jump scale factors of a ``(rows, d)`` population block.
+
+    Rows whose no-jump norm is not positive come back as all-ones — exactly
+    how the batched executor treats a skipped update (a multiply by 1.0,
+    which the equality suite pins as a bitwise no-op).  Valid rows match
+    :func:`no_jump_scales` element for element: the norm accumulates in the
+    same level order and the final product multiplies the same precomputed
+    square roots.
+    """
+    rows = populations.shape[0]
+    norm_sq = np.zeros(rows)
+    for level, weight in enumerate(step.weights):
+        norm_sq = norm_sq + weight * populations[:, level]
+    valid = norm_sq > 0.0
+    inverse_norm = 1.0 / np.sqrt(np.where(valid, norm_sq, 1.0))
+    scales = step.sqrt_weights[None, :] * inverse_norm[:, None]
+    scales[~valid] = 1.0
+    return scales
+
+
 def draw_idle_choice(
     step: IdleStep, populations: np.ndarray, rng: np.random.Generator
 ) -> int | None:
@@ -684,14 +790,16 @@ def no_jump_scales(step: IdleStep, populations: np.ndarray) -> np.ndarray | None
 
     The no-jump Kraus operator is ``diag(1, sqrt(1-l_1), ...)``; its output
     norm is known analytically from the level populations, so the update and
-    the renormalization collapse into one multiply.
+    the renormalization collapse into one multiply.  The weight tables are
+    precomputed on the step at program-compile time: the returned values are
+    exactly the ones the inline ``[1.0] + [1.0 - lam ...]`` rebuild used to
+    produce, without the per-call list and array allocations.
     """
-    weights = [1.0] + [1.0 - lam for lam in step.lambdas]
-    norm_sq = sum(w * populations[m] for m, w in enumerate(weights))
+    norm_sq = sum(w * populations[m] for m, w in enumerate(step.weights))
     if norm_sq <= 0.0:
         return None
     inverse_norm = 1.0 / math.sqrt(norm_sq)
-    return np.array([math.sqrt(w) * inverse_norm for w in weights])
+    return step.sqrt_weights * inverse_norm
 
 
 def jump_scale(step: IdleStep, choice: int, populations: np.ndarray) -> float | None:
@@ -732,8 +840,6 @@ def sample_gate_error(
     rng: np.random.Generator,
 ) -> np.ndarray | None:
     """Draw the post-gate depolarizing error operator, or None (no error)."""
-    from repro.noise.channels import sample_depolarizing_error_factors
-
     factors = sample_depolarizing_error_factors(step.error_dims, step.error_rate, rng)
     if factors is None:
         return None

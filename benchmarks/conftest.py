@@ -35,6 +35,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.core import env
+
 
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark and return its result."""
@@ -47,7 +49,7 @@ def parse_speedup_gate(env_name: str, default: float) -> float:
     A gate of 0.0 disables the assertion (report-only).  Malformed values
     fail loudly instead of silently disabling a performance contract.
     """
-    raw = os.environ.get(env_name)
+    raw = env.read_raw(env_name)
     if raw is None or raw.strip() == "":
         return float(default)
     try:
@@ -105,7 +107,7 @@ def fastpath_speedup_gate() -> float:
 @pytest.fixture
 def bench_artifact_dir() -> Path | None:
     """Directory for benchmark artifacts (``REPRO_BENCH_DIR``), or None."""
-    raw = os.environ.get("REPRO_BENCH_DIR")
+    raw = env.read_raw("REPRO_BENCH_DIR")
     if not raw:
         return None
     path = Path(raw)

@@ -1,0 +1,53 @@
+"""Invariant-aware static analysis for the repro codebase.
+
+``python -m repro.analysis src/`` runs the rule pack of
+:mod:`repro.analysis.rules` plus the schema-fingerprint guards of
+:mod:`repro.analysis.fingerprint` over a source tree and exits non-zero
+on any finding.  The package is stdlib-only so it can run anywhere —
+pre-commit, CI, or against mutated temp trees in tests.
+"""
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    Finding,
+    ModuleContext,
+    Rule,
+    Suppression,
+    analyze_module,
+    analyze_paths,
+    parse_suppressions,
+)
+from repro.analysis.fingerprint import (
+    REGIONS,
+    Region,
+    check_fingerprints,
+    compute_manifest,
+    load_manifest,
+    region_fingerprint,
+    schema_version,
+    write_manifest,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import DEFAULT_RULES
+
+__all__ = [
+    "AnalysisReport",
+    "DEFAULT_RULES",
+    "Finding",
+    "ModuleContext",
+    "REGIONS",
+    "Region",
+    "Rule",
+    "Suppression",
+    "analyze_module",
+    "analyze_paths",
+    "check_fingerprints",
+    "compute_manifest",
+    "load_manifest",
+    "parse_suppressions",
+    "region_fingerprint",
+    "render_json",
+    "render_text",
+    "schema_version",
+    "write_manifest",
+]

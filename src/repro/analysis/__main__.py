@@ -1,0 +1,131 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Runs the rule pack over every ``.py`` file under the given paths
+(default: ``src``) and, when a ``repro`` package root can be located, the
+schema-fingerprint guards.  Exits 0 when clean, 1 on any finding, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.fingerprint import (
+    DEFAULT_MANIFEST_PATH,
+    SCHEMA_FILES,
+    check_fingerprints,
+    load_manifest,
+    write_manifest,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import DEFAULT_RULES
+
+
+def resolve_src_root(paths: Sequence[Path]) -> Path | None:
+    """Find the directory containing the ``repro`` package, if any.
+
+    Checks each analyzed path and its ancestors for a ``repro/`` child
+    holding the schema files the fingerprint guards need; returns ``None``
+    (guards skipped) when the run targets standalone snippets.
+    """
+    seen: set[Path] = set()
+    for path in paths:
+        resolved = path.resolve()
+        for candidate in (resolved, *resolved.parents):
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            schema_file = candidate / "repro" / "core" / "compile_cache.py"
+            if schema_file.is_file():
+                return candidate
+    return None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Invariant lint + schema-fingerprint guards.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--src-root",
+        type=Path,
+        default=None,
+        help="directory containing the repro package (default: autodetected)",
+    )
+    parser.add_argument(
+        "--no-fingerprints",
+        action="store_true",
+        help="skip the schema-fingerprint guards",
+    )
+    parser.add_argument(
+        "--update-fingerprints",
+        action="store_true",
+        help="re-bless fingerprints.json from the current tree and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"        {rule.invariant}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    src_root = args.src_root if args.src_root is not None else resolve_src_root(paths)
+
+    if args.update_fingerprints:
+        if src_root is None:
+            print("error: --update-fingerprints needs a locatable repro package", file=sys.stderr)
+            return 2
+        manifest = write_manifest(src_root)
+        regions = manifest["regions"]
+        count = len(regions) if isinstance(regions, dict) else 0
+        print(f"blessed {count} region fingerprints into {DEFAULT_MANIFEST_PATH}")
+        return 0
+
+    report = analyze_paths(paths, DEFAULT_RULES)
+
+    run_guards = not args.no_fingerprints and src_root is not None
+    if run_guards and src_root is not None:
+        schema_present = any((src_root / rel).is_file() for rel in SCHEMA_FILES.values())
+        if schema_present and DEFAULT_MANIFEST_PATH.is_file():
+            findings, notices = check_fingerprints(src_root, load_manifest())
+            report.findings.extend(findings)
+            report.notices.extend(notices)
+            report.findings.sort(key=lambda finding: finding.sort_key())
+        elif schema_present:
+            report.notices.append("fingerprint manifest missing; run --update-fingerprints to create it")
+
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    print(rendered)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

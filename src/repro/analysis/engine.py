@@ -1,0 +1,300 @@
+"""Core of the invariant lint engine: findings, rules, suppressions.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so the
+CI ``invariant-lint`` job and editor integrations can run it without the
+numeric stack.  A :class:`Rule` inspects one parsed module at a time and
+yields :class:`Finding` objects; the engine handles file discovery,
+per-line suppressions and finding aggregation, and the reporters in
+:mod:`repro.analysis.reporters` handle presentation.
+
+Suppressions
+------------
+A finding is silenced with a justified suppression comment::
+
+    value = time.perf_counter()  # repro-lint: disable=DET002 -- pass metrics only
+
+The justification (everything after ``--``) is mandatory: a suppression
+without one does not silence anything and is itself reported (``SUP001``).
+A standalone comment line applies to the next source line; an inline
+comment applies to its own line.  Suppressions that match no finding are
+reported as stale (``SUP002``) so disabled rules cannot outlive the code
+they excused.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator, Sequence
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "SUPPRESSION_PATTERN",
+    "Suppression",
+    "analyze_module",
+    "analyze_paths",
+    "collect_files",
+    "module_relpath",
+    "parse_suppressions",
+]
+
+#: ``# repro-lint: disable=RULE_ID[,RULE_ID...] -- justification``
+SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Z][A-Z0-9]*\d{3}(?:\s*,\s*[A-Z][A-Z0-9]*\d{3})*)"
+    r"(?:\s+--\s*(?P<justification>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    invariant: str = ""
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule_id)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "invariant": self.invariant,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``repro-lint: disable`` comment."""
+
+    line: int  # line the comment sits on
+    target: int  # line the suppression applies to
+    rule_ids: tuple[str, ...]
+    justification: str  # empty string when missing (=> SUP001)
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file handed to every applicable rule."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+
+    @classmethod
+    def load(cls, path: Path) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path, relpath=module_relpath(path), source=source, tree=tree)
+
+
+class Rule(abc.ABC):
+    """One statically-checkable invariant.
+
+    ``scope`` restricts the rule to relpath prefixes *within the repro
+    package*; files outside a ``repro/`` tree (fixtures, snippets) are
+    always in scope so the rule pack can be exercised on standalone
+    sources.  ``exempt`` names the relpaths that implement the sanctioned
+    path the rule protects.
+    """
+
+    rule_id: ClassVar[str]
+    title: ClassVar[str]
+    invariant: ClassVar[str]
+    scope: ClassVar[tuple[str, ...]] = ()
+    exempt: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        rel = module.relpath
+        if rel in self.exempt:
+            return False
+        if not self.scope or not rel.startswith("repro/"):
+            return True
+        return any(rel.startswith(prefix) for prefix in self.scope)
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding for every violation in ``module``."""
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.relpath,
+            line=int(line),
+            message=message,
+            invariant=self.invariant,
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated result of one analysis run."""
+
+    findings: list[Finding]
+    files_scanned: int
+    notices: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def module_relpath(path: Path) -> str:
+    """Return the path relative to the enclosing ``repro`` package root.
+
+    ``.../src/repro/noise/fastpath.py`` maps to ``repro/noise/fastpath.py``
+    regardless of where the tree lives (the real ``src/``, a tmp-dir copy
+    used by the fingerprint tests, an installed site-packages).  Files not
+    under a ``repro`` directory keep just their basename, which never
+    matches a scope/exempt prefix — rules treat them as standalone
+    snippets.
+    """
+    parts = path.resolve().parts
+    for index in range(len(parts) - 2, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.name
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every ``repro-lint: disable`` comment from ``source``.
+
+    Real comment tokens only — the same text inside a string literal or
+    docstring (e.g. documentation showing the syntax) is not a
+    suppression.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = SUPPRESSION_PATTERN.search(token.string)
+        if match is None:
+            continue
+        lineno, column = token.start
+        standalone = token.line[:column].strip() == ""
+        rule_ids = tuple(part.strip() for part in match.group("rules").split(","))
+        justification = (match.group("justification") or "").strip()
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                target=lineno + 1 if standalone else lineno,
+                rule_ids=rule_ids,
+                justification=justification,
+            )
+        )
+    return suppressions
+
+
+def _apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression], relpath: str
+) -> list[Finding]:
+    """Silence justified suppressions; report unjustified and stale ones."""
+    justified: dict[tuple[int, str], Suppression] = {}
+    result: list[Finding] = []
+    for suppression in suppressions:
+        if not suppression.justification:
+            result.append(
+                Finding(
+                    rule_id="SUP001",
+                    path=relpath,
+                    line=suppression.line,
+                    message=(
+                        "suppression without justification: write "
+                        '"# repro-lint: disable='
+                        + ",".join(suppression.rule_ids)
+                        + ' -- <why this exception is sound>"'
+                    ),
+                    invariant="every disabled rule carries a reviewable justification",
+                )
+            )
+            continue
+        for rule_id in suppression.rule_ids:
+            justified[(suppression.target, rule_id)] = suppression
+    used: set[tuple[int, str]] = set()
+    for finding in findings:
+        key = (finding.line, finding.rule_id)
+        if key in justified:
+            used.add(key)
+            continue
+        result.append(finding)
+    for key, suppression in justified.items():
+        if key not in used:
+            result.append(
+                Finding(
+                    rule_id="SUP002",
+                    path=relpath,
+                    line=suppression.line,
+                    message=f"stale suppression: no {key[1]} finding on line {key[0]}",
+                    invariant="suppressions must not outlive the code they excuse",
+                )
+            )
+    return result
+
+
+def analyze_module(module: ModuleContext, rules: Sequence[Rule]) -> list[Finding]:
+    """Run every applicable rule over one module, honouring suppressions."""
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(module):
+            raw.extend(rule.check(module))
+    unique = {(f.rule_id, f.line, f.message): f for f in sorted(raw, key=Finding.sort_key)}
+    findings = _apply_suppressions(list(unique.values()), parse_suppressions(module.source), module.relpath)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def analyze_paths(paths: Iterable[Path], rules: Sequence[Rule]) -> AnalysisReport:
+    """Analyze every ``.py`` file under ``paths`` with ``rules``."""
+    findings: list[Finding] = []
+    files = collect_files(paths)
+    for path in files:
+        try:
+            module = ModuleContext.load(path)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    rule_id="PARSE001",
+                    path=module_relpath(path),
+                    line=int(error.lineno or 1),
+                    message=f"file does not parse: {error.msg}",
+                    invariant="static analysis requires parseable sources",
+                )
+            )
+            continue
+        findings.extend(analyze_module(module, rules))
+    findings.sort(key=Finding.sort_key)
+    return AnalysisReport(findings=findings, files_scanned=len(files), notices=[])

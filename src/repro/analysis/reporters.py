@@ -1,0 +1,42 @@
+"""Render an :class:`~repro.analysis.engine.AnalysisReport` for humans or CI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisReport
+
+__all__ = ["JSON_REPORT_VERSION", "render_json", "render_text"]
+
+JSON_REPORT_VERSION = 1
+
+
+def render_text(report: AnalysisReport) -> str:
+    """One line per finding (``path:line: RULE message``) plus a summary."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.path}:{finding.line}: {finding.rule_id} {finding.message}")
+        if finding.invariant:
+            lines.append(f"    invariant: {finding.invariant}")
+    for notice in report.notices:
+        lines.append(f"note: {notice}")
+    count = len(report.findings)
+    if count:
+        noun = "finding" if count == 1 else "findings"
+        lines.append(f"{count} {noun} in {report.files_scanned} files")
+    else:
+        lines.append(f"OK: no findings in {report.files_scanned} files")
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Stable machine-readable report (schema pinned by the test suite)."""
+    document = {
+        "version": JSON_REPORT_VERSION,
+        "ok": report.ok,
+        "files_scanned": report.files_scanned,
+        "finding_count": len(report.findings),
+        "findings": [finding.as_dict() for finding in report.findings],
+        "notices": list(report.notices),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -18,12 +18,11 @@ one host→device constant cache) per process.
 
 from __future__ import annotations
 
-import os
-
 from repro.backends.base import ArrayBackend, BackendUnavailable
 from repro.backends.cupy_backend import CupyBackend
 from repro.backends.numpy_backend import NumpyBackend
 from repro.backends.torch_backend import TorchBackend
+from repro.core import env
 
 __all__ = [
     "ArrayBackend",
@@ -68,7 +67,7 @@ def resolve_backend_name(name: str | None = None) -> str:
     paths must not require the backend library to be importable.
     """
     if name is None:
-        name = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+        name = env.read_raw(BACKEND_ENV_VAR) or "numpy"
     return name.strip().lower()
 
 

@@ -10,12 +10,12 @@ imports cleanly when torch is absent — construction then raises
 
 from __future__ import annotations
 
-import os
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.backends.base import ArrayBackend, BackendUnavailable
+from repro.core import env
 
 __all__ = ["TorchBackend"]
 
@@ -42,7 +42,7 @@ class TorchBackend(ArrayBackend):
         torch = _import_torch()
         self._torch = torch
         if device is None:
-            device = os.environ.get("REPRO_TORCH_DEVICE")
+            device = env.read_raw("REPRO_TORCH_DEVICE")
         if device is None:
             device = "cuda" if torch.cuda.is_available() else "cpu"
         self.device = torch.device(device)

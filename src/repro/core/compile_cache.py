@@ -33,6 +33,8 @@ from pathlib import Path
 from tempfile import NamedTemporaryFile
 from typing import Any, Callable, Iterable
 
+from repro.core import env
+
 __all__ = [
     "CACHE_DIR_ENV_VAR",
     "CACHE_SCHEMA_VERSION",
@@ -389,7 +391,7 @@ def get_cache() -> CompileCache:
     the directory currently configured.
     """
     global _CACHE, _CACHE_DIRECTORY
-    directory = os.environ.get(CACHE_DIR_ENV_VAR) or None
+    directory = env.read_raw(CACHE_DIR_ENV_VAR) or None
     if _CACHE is None or directory != _CACHE_DIRECTORY:
         _CACHE = CompileCache(directory)
         _CACHE_DIRECTORY = directory

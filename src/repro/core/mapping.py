@@ -146,7 +146,7 @@ def place_one_per_device(
     free_devices.discard(centre)
 
     for qubit in order[1:]:
-        def cost(candidate: int) -> float:
+        def cost(candidate: int, qubit: int = qubit) -> float:
             return sum(
                 _pair_weight(weights, qubit, placed) * distances[candidate][placement.device_of(placed)]
                 for placed in placement.qubits()
@@ -190,7 +190,7 @@ def place_two_per_ququart(
     free_slots.discard(first_slot)
 
     for qubit in order[1:]:
-        def cost(candidate: Slot) -> float:
+        def cost(candidate: Slot, qubit: int = qubit) -> float:
             return sum(
                 _pair_weight(weights, qubit, placed)
                 * distances[candidate.device][placement.device_of(placed)]

@@ -230,11 +230,14 @@ class Pipeline:
         report = PassReport()
         for pass_ in self.passes:
             ops_before = len(ctx.physical) if ctx.physical is not None else 0
+            # repro-lint: disable=DET002 -- pass wall-time metrics are diagnostics only; they never feed artifact bytes or cache keys
             start = time.perf_counter()
             try:
                 pass_.run(ctx)
             except CompilationError as exc:
-                raise exc.attach(pass_name=pass_.name)
+                exc.attach(pass_name=pass_.name)
+                raise
+            # repro-lint: disable=DET002 -- pass wall-time metrics are diagnostics only; they never feed artifact bytes or cache keys
             elapsed = time.perf_counter() - start
             ops_after = len(ctx.physical) if ctx.physical is not None else 0
             report.passes.append(PassMetrics(pass_.name, elapsed, ops_before, ops_after))
@@ -396,7 +399,8 @@ class EmitPass(Pass):
             try:
                 self._lower_gate(gate, ctx.strategy, emitter, router)
             except CompilationError as exc:
-                raise exc.attach(gate=gate, pass_name=self.name)
+                exc.attach(gate=gate, pass_name=self.name)
+                raise
         physical.final_placement = emitter.placement.copy()
         ctx.info[self.name] = {
             "routing_swaps": sum(1 for op in physical.ops if op.logical_name == "SWAP"),

@@ -45,13 +45,13 @@ from __future__ import annotations
 
 import hashlib
 import math
-import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core import env
 from repro.noise.program import (
     GateStep,
     IdleStep,
@@ -99,10 +99,6 @@ _DISK_CHECKPOINT_BYTES = 1024 * 1024
 _DEFAULT_SEGMENTS = 8
 
 
-def _env_truthy(value: str | None) -> bool:
-    return bool(value) and value.strip().lower() not in ("", "0", "false", "no")
-
-
 def fastpath_enabled(explicit: bool | None = None) -> bool:
     """Resolve the fast-path switch: explicit setting, else the environment.
 
@@ -112,7 +108,7 @@ def fastpath_enabled(explicit: bool | None = None) -> bool:
     """
     if explicit is not None:
         return bool(explicit)
-    return not _env_truthy(os.environ.get(NO_FASTPATH_ENV))
+    return not env.read_flag(NO_FASTPATH_ENV)
 
 
 def checkpoint_stride(num_steps: int) -> int:
@@ -123,11 +119,10 @@ def checkpoint_stride(num_steps: int) -> int:
     memory and the length a deviating trajectory replays from its nearest
     checkpoint.
     """
-    raw = os.environ.get(STRIDE_ENV)
-    if raw is not None and raw.strip():
-        stride = int(raw)
+    stride = env.read_int(STRIDE_ENV)
+    if stride is not None:
         if stride < 1:
-            raise ValueError(f"{STRIDE_ENV} must be a positive integer, got {raw!r}")
+            raise ValueError(f"{STRIDE_ENV} must be a positive integer, got {stride!r}")
         return stride
     return max(8, math.ceil(num_steps / _DEFAULT_SEGMENTS)) if num_steps else 1
 
@@ -397,8 +392,8 @@ class RecordStore:
 
     def __init__(self, max_bytes: int | None = None):
         if max_bytes is None:
-            raw = os.environ.get(MEMORY_ENV)
-            megabytes = int(raw) if raw and raw.strip() else 512
+            configured = env.read_int(MEMORY_ENV)
+            megabytes = 512 if configured is None else configured
             max_bytes = max(1, megabytes) * 1024 * 1024
         self.max_bytes = max_bytes
         self._memory: OrderedDict[str, NoJumpRecord] = OrderedDict()

@@ -160,6 +160,7 @@ def run_parallel_fidelities(
     tasks = [(start, streams[start:stop]) for start, stop in chunks]
     payload = (physical, noise_model, sampler, batch_size, backend_spec, fuse, fastpath)
     by_start: dict[int, list[float]] = {}
+    # repro-lint: disable=ENG001 -- trajectory-level fan-out engine: SweepRunner delegates per-point trajectory work here; results are stream-ordered, so worker count never changes bytes
     with ProcessPoolExecutor(
         max_workers=workers,
         mp_context=_pool_context(host_memory),

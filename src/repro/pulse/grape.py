@@ -116,7 +116,7 @@ class GrapeOptimizer:
             generator = -1j * dt * hamiltonian
             derivs = []
             prop = None
-            for c, control in enumerate(self._controls):
+            for control in self._controls:
                 direction = -1j * dt * control
                 prop_c, deriv = expm_frechet(generator, direction, compute_expm=True)
                 if prop is None:

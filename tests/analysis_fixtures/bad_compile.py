@@ -1,0 +1,12 @@
+"""ENG002 fixture: trajectory compilation bypassing the cache (2 findings)."""
+
+from repro.noise import program
+from repro.noise.program import compile_program
+
+
+def compile_direct(physical: object, noise_model: object) -> object:
+    return compile_program(physical, noise_model)
+
+
+def compile_via_module(physical: object, noise_model: object) -> object:
+    return program.compile_program(physical, noise_model)

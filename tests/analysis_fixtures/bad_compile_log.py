@@ -1,0 +1,7 @@
+"""ENG003 fixture: writing the audited compile log directly (1 finding)."""
+
+from pathlib import Path
+
+
+def tamper(directory: Path) -> None:
+    (directory / "compile-log.txt").write_text("not audited\n")

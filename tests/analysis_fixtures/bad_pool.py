@@ -1,0 +1,8 @@
+"""ENG001 fixture: hand-rolled process pool (1 finding)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(tasks: list[int]) -> list[int]:
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(abs, tasks))

@@ -1,0 +1,19 @@
+"""DET001 fixture: global and unseeded RNG draws (4 findings)."""
+
+import random
+
+import numpy as np
+
+
+def legacy_draw() -> float:
+    np.random.seed(1234)
+    return float(np.random.random())
+
+
+def unseeded_generator() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())
+
+
+def stdlib_draw() -> float:
+    return random.random()

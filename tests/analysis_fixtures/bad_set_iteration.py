@@ -1,0 +1,18 @@
+"""DET003 fixture: order-sensitive consumption of sets (3 findings)."""
+
+
+def accumulate(values: list[float]) -> float:
+    pending = set(values)
+    total = 0.0
+    for value in pending:
+        total += value
+    return total
+
+
+def materialize(names: list[str]) -> list[str]:
+    return list({name.strip() for name in names})
+
+
+def union_walk(left: list[int], right: list[int]) -> list[int]:
+    merged = set(left) | set(right)
+    return [item + 1 for item in merged]

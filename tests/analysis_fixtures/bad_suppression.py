@@ -1,0 +1,11 @@
+"""Suppression-hygiene fixture: SUP001 + the unsilenced DET002, and SUP002."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=DET002
+
+
+def clean() -> int:
+    return 1  # repro-lint: disable=DET001 -- stale: nothing here draws randomness

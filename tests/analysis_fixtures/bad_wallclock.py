@@ -1,0 +1,12 @@
+"""DET002 fixture: wall-clock reads (2 findings)."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def label() -> str:
+    return datetime.now().isoformat()

@@ -92,6 +92,11 @@ _SHARD_INVARIANT = (
     "sweep artifacts; changing them without bumping SHARD_SCHEMA_VERSION "
     "orphans or mismatches persisted shards on resume"
 )
+_LEASE_INVARIANT = (
+    "lease and job serialization is the durable state of the work-stealing "
+    "coordinator; changing it without bumping SHARD_SCHEMA_VERSION lets "
+    "live fleets misread each other's leases, manifests and job specs"
+)
 
 
 def _kernel(name: str) -> Region:
@@ -108,6 +113,10 @@ def _cache_key(name: str) -> Region:
 
 def _shard(file: str, name: str) -> Region:
     return Region(file, name, "SHARD_SCHEMA_VERSION", _SHARD_INVARIANT)
+
+
+def _lease(name: str) -> Region:
+    return Region("repro/experiments/scheduler.py", name, "SHARD_SCHEMA_VERSION", _LEASE_INVARIANT)
 
 
 REGIONS: tuple[Region, ...] = (
@@ -145,6 +154,10 @@ REGIONS: tuple[Region, ...] = (
     _shard("repro/experiments/shard.py", "ShardPlan"),
     _shard("repro/experiments/shard.py", "ShardPlanner.plan"),
     _shard("repro/experiments/shard.py", "ShardManifest"),
+    # Lease/job serialization (experiments/scheduler.py): work-stealing state.
+    _lease("Lease"),
+    _lease("JobSpec"),
+    _lease("WorkerManifest"),
 )
 
 

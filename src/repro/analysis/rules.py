@@ -9,6 +9,7 @@ comments, CI output and the ROADMAP's standing-invariants table):
 * ``ENG001`` — no process pools outside the sweep engine,
 * ``ENG002`` — trajectory compilation must go through the cache,
 * ``ENG003`` — nothing but the cache touches ``compile-log.txt``,
+* ``ENG004`` — lease files are written only by the coordinator,
 * ``ENV001`` — environment reads go through :mod:`repro.core.env`.
 
 The engine additionally emits ``SUP001``/``SUP002`` (suppression hygiene)
@@ -30,6 +31,7 @@ __all__ = [
     "SetIterationRule",
     "UncachedCompileRule",
     "UnmanagedCompileLogRule",
+    "UnmanagedLeaseRule",
     "UnseededRngRule",
     "WallClockRule",
     "dotted_name",
@@ -388,6 +390,35 @@ class UnmanagedCompileLogRule(Rule):
                 )
 
 
+class UnmanagedLeaseRule(Rule):
+    """ENG004: only LeaseCoordinator's atomic protocol touches lease files."""
+
+    rule_id = "ENG004"
+    title = "lease file access outside the coordinator"
+    invariant = (
+        "lease integrity: work-stealing correctness rests on every lease "
+        "transition (claim, renew, reclaim, release) going through "
+        "LeaseCoordinator's atomic link/rename protocol; any other writer "
+        "can double-lease or orphan sweep points"
+    )
+    # The rule's own definition necessarily names the files it protects.
+    exempt = ("repro/experiments/scheduler.py", "repro/analysis/rules.py")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and ".lease" in node.value
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "references a lease file; only LeaseCoordinator may "
+                    "create, renew, reclaim or release *.lease files",
+                )
+
+
 class DirectEnvReadRule(Rule):
     """ENV001: environment access goes through the typed knob registry."""
 
@@ -429,5 +460,6 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     PoolOutsideEngineRule(),
     UncachedCompileRule(),
     UnmanagedCompileLogRule(),
+    UnmanagedLeaseRule(),
     DirectEnvReadRule(),
 )

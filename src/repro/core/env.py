@@ -109,6 +109,24 @@ REGISTRY: tuple[EnvKnob, ...] = (
         default="unset (no artifacts)",
         description="Directory the benchmarks write their `BENCH_*.json` / CSV artifacts into.",
     ),
+    EnvKnob(
+        name="REPRO_LEASE_TTL",
+        kind="float",
+        default="30",
+        description=(
+            "Lease time-to-live in seconds for the work-stealing sweep coordinator; "
+            "leases past their deadline are reclaimed and re-leased."
+        ),
+    ),
+    EnvKnob(
+        name="REPRO_SERVE_POLL_S",
+        kind="float",
+        default="0.5",
+        description=(
+            "Poll interval in seconds for the sweep-service front "
+            "(`watch` streaming and idle leased-worker backoff)."
+        ),
+    ),
 )
 
 _BY_NAME: dict[str, EnvKnob] = {entry.name: entry for entry in REGISTRY}

@@ -18,9 +18,12 @@ All drivers accept size / trajectory-count arguments so the full paper-scale
 sweeps can be launched, while the defaults stay laptop-friendly (the same
 trade-off the paper makes against its 86 GB simulation ceiling).
 
-Grids run through :mod:`.sweep` on one machine, or sharded across machines
-through :mod:`.shard` (``python -m repro.experiments.shard``) with merged
-artifacts byte-identical to the unsharded run.
+Grids run through :mod:`.sweep` on one machine, sharded statically across
+machines through :mod:`.shard` (``python -m repro.experiments.shard``), or
+drained dynamically by lease-coordinated workers through :mod:`.scheduler`
+and the :mod:`.serve` submission front (``python -m
+repro.experiments.serve``) — in every case the merged artifacts are
+byte-identical to the unsharded run.
 """
 
 from repro.experiments.runner import StrategyEvaluation, evaluate_strategy
@@ -32,6 +35,9 @@ from repro.experiments.sensitivity import run_coherence_sensitivity, run_gate_er
 from repro.experiments.gate_ratio import run_gate_ratio_study
 
 __all__ = [
+    "JobSpec",
+    "LeaseCoordinator",
+    "LeasedWorker",
     "RandomizedBenchmarkingResult",
     "ShardPlan",
     "ShardPlanner",
@@ -39,8 +45,12 @@ __all__ = [
     "evaluate_strategy",
     "format_table1",
     "format_table2",
+    "job_status",
+    "merge_job",
     "merge_shards",
+    "plan_job",
     "point_key",
+    "queue_status",
     "run_cswap_study",
     "run_coherence_sensitivity",
     "run_eps_study",
@@ -49,7 +59,9 @@ __all__ = [
     "run_gate_ratio_study",
     "run_interleaved_rb",
     "run_shard",
+    "submit_job",
     "summarize_improvements",
+    "watch_job",
 ]
 
 #: Names resolved lazily (PEP 562) from modules that double as CLIs:
@@ -61,6 +73,15 @@ _LAZY_EXPORTS = {
     "ShardPlanner": "shard",
     "merge_shards": "shard",
     "run_shard": "shard",
+    "JobSpec": "scheduler",
+    "LeaseCoordinator": "scheduler",
+    "LeasedWorker": "scheduler",
+    "job_status": "scheduler",
+    "merge_job": "scheduler",
+    "plan_job": "scheduler",
+    "queue_status": "serve",
+    "submit_job": "serve",
+    "watch_job": "serve",
     "run_fidelity_sweep": "fidelity_sweep",
     "summarize_improvements": "fidelity_sweep",
     "run_cswap_study": "cswap_study",

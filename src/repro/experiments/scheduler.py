@@ -1,0 +1,924 @@
+"""Lease-based work-stealing sweep coordinator (dynamic sharding).
+
+PR 4's :mod:`repro.experiments.shard` partitions a grid *statically*: each
+machine owns a fixed slice, and a dead or straggling machine strands its
+points until an operator re-runs the shard.  This module replaces the
+partition with a **dynamic coordinator** that lives entirely on a shared
+filesystem — no server process, no network protocol, just atomic file
+operations every POSIX mount provides:
+
+* :class:`JobSpec` freezes a grid into a job: the points, an acquisition
+  policy (``fifo``, or ``cost-weighted`` — PR 4's LPT cost estimates
+  reused as a priority queue instead of a partition), and a fingerprint
+  binding every durable record to the exact grid, under the same
+  ``SHARD_SCHEMA_VERSION`` discipline as shard plans.
+* :class:`LeaseCoordinator` hands out **leases**: per-point claim files
+  whose creation (tmp write + ``os.link``) and reclamation (``os.rename``
+  into a graveyard) are atomic, so exactly one worker wins any race.
+  Leases carry a wall-clock deadline; holders renew it via heartbeats
+  (deadlines only ever move forward), and any worker may reclaim a lease
+  whose deadline passed — which is how points held by dead or straggling
+  workers get re-leased without an operator.
+* :class:`LeasedWorker` is the pull loop: acquire a lease, evaluate the
+  point through :meth:`SweepRunner.iter_evaluate` (the same single-point
+  engine as ``run_shard`` and the unsharded runner), checkpoint the row
+  and a per-worker manifest in the shard formats, mark the point done,
+  repeat until the job drains.
+* :func:`merge_job` reassembles the per-worker row stores into combined
+  CSV/JSON artifacts **byte-identical to an unsharded ``SweepRunner``
+  run** — for any worker count, kill schedule or lease-TTL setting
+  (enforced by ``examples/scheduler_equivalence_check.py`` in CI).
+
+Races lose cleanly, never corrupt: a claim race loses ``os.link``, a
+reclaim race loses ``os.rename``, and the loser simply pulls the next
+point.  The one benign anomaly is double execution — a reclaimed-but-alive
+worker and the reclaimer may both evaluate a point — and every record it
+can write (rows, done markers) is deterministic and attribution-free, so
+double writes are byte-identical, mirroring the compile cache's documented
+duplicate-compile-on-cold-race stance.
+
+Command line::
+
+    python -m repro.experiments.scheduler plan   --grid fig7 --dir DIR
+    python -m repro.experiments.scheduler work   --dir DIR --worker-id w0
+    python -m repro.experiments.scheduler status --dir DIR
+    python -m repro.experiments.scheduler merge  --dir DIR
+
+The async submission front (named jobs, watch-streaming) lives in
+:mod:`repro.experiments.serve`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core import env
+from repro.core.compile_cache import fingerprint
+from repro.experiments.shard import (
+    SHARD_SCHEMA_VERSION,
+    MergeResult,
+    ShardError,
+    estimate_point_cost,
+    named_grid_points,
+    point_from_json,
+    point_to_json,
+)
+from repro.experiments.sweep import (
+    PointFailure,
+    SweepPoint,
+    SweepRunner,
+    atomic_write_json,
+    point_key,
+    sweep_rows,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "JOB_POLICIES",
+    "JobSpec",
+    "Lease",
+    "LeaseCoordinator",
+    "LeaseLost",
+    "LeasedWorker",
+    "SchedulerError",
+    "WorkerManifest",
+    "WorkerReport",
+    "job_status",
+    "landed_rows",
+    "load_job",
+    "main",
+    "merge_job",
+    "plan_job",
+    "save_job",
+]
+
+#: Supported lease-acquisition policies.
+JOB_POLICIES = ("fifo", "cost-weighted")
+
+#: Fallback lease time-to-live in seconds when ``REPRO_LEASE_TTL`` is unset.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Fallback idle-poll interval in seconds when ``REPRO_SERVE_POLL_S`` is unset.
+DEFAULT_POLL_S = 0.5
+
+
+class SchedulerError(ShardError):
+    """Raised for invalid jobs, stale leases or incomplete merges."""
+
+
+class LeaseLost(SchedulerError):
+    """Raised when renewing a lease another worker has reclaimed."""
+
+
+def _now() -> float:
+    """The shared lease timebase: wall-clock seconds.
+
+    Deadlines must compare across worker processes and hosts on a shared
+    mount, so this is the one clock every participant agrees on.  Renewal
+    only ever moves a deadline forward (``max(old, now + ttl)``), so local
+    clock adjustments cannot shrink a lease another worker is counting on.
+    """
+    # repro-lint: disable=DET002 -- lease deadlines are scheduling state, never artifact bytes
+    return time.time()
+
+
+# ---------------------------------------------------------------------------
+# jobs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A frozen grid plus the order its points should be leased in.
+
+    ``priorities[i]`` is the estimated cost of point ``i`` (all zero under
+    ``fifo``); ``cost-weighted`` acquisition leases the most expensive
+    pending point first — longest-processing-time as a *priority queue*, so
+    stragglers shrink without pinning any point to any worker.
+    """
+
+    points: tuple[SweepPoint, ...]
+    policy: str
+    priorities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.policy not in JOB_POLICIES:
+            raise SchedulerError(f"unknown policy {self.policy!r}; expected one of {JOB_POLICIES}")
+        if len(self.priorities) != len(self.points):
+            raise SchedulerError(
+                f"{len(self.priorities)} priorities for {len(self.points)} points; "
+                "every point needs exactly one priority"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash binding leases, manifests and markers to this job."""
+        return fingerprint(
+            [
+                "lease-job",
+                f"schema:{SHARD_SCHEMA_VERSION}",
+                f"policy:{self.policy}",
+                *[point_key(point) for point in self.points],
+                *[f"priority:{priority!r}" for priority in self.priorities],
+            ]
+        )
+
+    def acquisition_order(self) -> list[int]:
+        """Global point indices in the order they should be leased."""
+        if self.policy == "cost-weighted":
+            indices = range(len(self.points))
+            return sorted(indices, key=lambda index: (-self.priorities[index], index))
+        return list(range(len(self.points)))
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SHARD_SCHEMA_VERSION,
+            "policy": self.policy,
+            "fingerprint": self.fingerprint,
+            "points": [point_to_json(point) for point in self.points],
+            "priorities": list(self.priorities),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        if data.get("schema") != SHARD_SCHEMA_VERSION:
+            raise SchedulerError(
+                f"job schema {data.get('schema')!r} does not match "
+                f"this code's schema {SHARD_SCHEMA_VERSION}"
+            )
+        spec = cls(
+            points=tuple(point_from_json(point) for point in data["points"]),
+            policy=data["policy"],
+            priorities=tuple(float(priority) for priority in data["priorities"]),
+        )
+        if data.get("fingerprint") != spec.fingerprint:
+            raise SchedulerError("job file is corrupt: stored fingerprint does not match contents")
+        return spec
+
+
+def plan_job(
+    points: Sequence[SweepPoint],
+    policy: str = "fifo",
+    cost_fn: Callable[[SweepPoint], float] = estimate_point_cost,
+) -> JobSpec:
+    """Freeze a grid into a :class:`JobSpec`.
+
+    ``cost-weighted`` evaluates ``cost_fn`` per point (the default compiles
+    through the shared cache, so planning doubles as a cache warm-up exactly
+    like :class:`~repro.experiments.shard.ShardPlanner`); ``fifo`` costs
+    nothing and leases points in grid order.
+    """
+    points = tuple(points)
+    if policy == "cost-weighted":
+        priorities = tuple(float(cost_fn(point)) for point in points)
+    else:
+        priorities = tuple(0.0 for _ in points)
+    return JobSpec(points=points, policy=policy, priorities=priorities)
+
+
+def _job_path(directory: Path) -> Path:
+    return Path(directory) / "job.json"
+
+
+def save_job(spec: JobSpec, directory: str | Path) -> Path:
+    """Write ``job.json`` under ``directory`` (atomically)."""
+    path = _job_path(Path(directory))
+    atomic_write_json(path, spec.to_json())
+    return path
+
+
+def load_job(directory: str | Path) -> JobSpec:
+    """Load and validate the job stored under ``directory``."""
+    path = _job_path(Path(directory))
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise SchedulerError(f"no job at {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise SchedulerError(f"unreadable job at {path}: {error}") from error
+    return JobSpec.from_json(payload)
+
+
+# ---------------------------------------------------------------------------
+# leases
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's time-bounded claim on one grid point.
+
+    ``token`` is unique per acquisition (worker, process, counter), so a
+    worker can always tell its own live claim from a successor lease on the
+    same point after a reclaim.  ``expires_at`` is a wall-clock deadline in
+    the shared timebase; a lease whose deadline passed may be reclaimed by
+    anyone.
+    """
+
+    index: int
+    point_key: str
+    job_fingerprint: str
+    worker_id: str
+    token: str
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at <= now
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SHARD_SCHEMA_VERSION,
+            "index": self.index,
+            "point_key": self.point_key,
+            "job_fingerprint": self.job_fingerprint,
+            "worker_id": self.worker_id,
+            "token": self.token,
+            "expires_at": self.expires_at,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Lease":
+        if data.get("schema") != SHARD_SCHEMA_VERSION:
+            raise SchedulerError(
+                f"lease schema {data.get('schema')!r} does not match this code's "
+                f"schema {SHARD_SCHEMA_VERSION}; stale leases are rejected, never honoured"
+            )
+        return cls(
+            index=int(data["index"]),
+            point_key=data["point_key"],
+            job_fingerprint=data["job_fingerprint"],
+            worker_id=data["worker_id"],
+            token=data["token"],
+            expires_at=float(data["expires_at"]),
+        )
+
+
+class LeaseCoordinator:
+    """Atomic filesystem lease protocol over one job directory.
+
+    Layout under ``directory`` (a shared mount for multi-host jobs)::
+
+        job.json                     the JobSpec
+        leases/00042.lease           live claims (atomically created)
+        reclaimed/00042.<by>.<n>.json  graveyard of expired claims
+        done/00042.json              completion markers {index, point_key}
+        failed/00042.json            failure markers (PointFailure records)
+        workers/<id>/manifest.json   per-worker shard-style manifests
+        workers/<id>/rows.json       per-worker row stores
+
+    Claiming writes the lease to a unique tmp file and ``os.link``\\ s it to
+    the canonical name — creation is exclusive, so losing a race raises
+    ``FileExistsError`` and the loser moves on.  Reclaiming an expired lease
+    ``os.rename``\\ s it into the graveyard — exactly one renamer wins, the
+    loser gets ``FileNotFoundError`` and re-pulls.  Renewal replaces the
+    lease content after a token check, with the deadline only ever moving
+    forward.  Every transition of a lease file goes through this class
+    (rule ``ENG004`` enforces that statically).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        worker_id: str | None = None,
+        ttl: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.directory = Path(directory)
+        self.spec = load_job(self.directory)
+        self.worker_id = worker_id if worker_id is not None else f"pid-{os.getpid()}"
+        if "/" in self.worker_id or not self.worker_id:
+            raise SchedulerError(f"worker_id {self.worker_id!r} must be a non-empty path segment")
+        if ttl is None:
+            ttl = env.read_float("REPRO_LEASE_TTL")
+        self.ttl = float(ttl) if ttl is not None else DEFAULT_LEASE_TTL
+        if self.ttl <= 0:
+            raise SchedulerError("lease ttl must be positive")
+        self._clock = clock if clock is not None else _now
+        self._counter = 0
+        self._order = self.spec.acquisition_order()
+
+    # -- paths -------------------------------------------------------------------
+    def _lease_path(self, index: int) -> Path:
+        return self.directory / "leases" / f"{index:05d}.lease"
+
+    def _done_path(self, index: int) -> Path:
+        return self.directory / "done" / f"{index:05d}.json"
+
+    def _failed_path(self, index: int) -> Path:
+        return self.directory / "failed" / f"{index:05d}.json"
+
+    def _read_lease(self, index: int) -> Lease | None:
+        try:
+            payload = json.loads(self._lease_path(index).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            raise SchedulerError(f"unreadable lease for point {index}: {error}") from error
+        return Lease.from_json(payload)
+
+    # -- protocol ----------------------------------------------------------------
+    def acquire(self) -> Lease | None:
+        """Claim the highest-priority available point, or ``None``.
+
+        Walks the job's acquisition order, skipping finished and
+        live-leased points, reclaiming expired leases along the way.
+        ``None`` means nothing is claimable *right now* — the job may still
+        have points leased to other (live) workers.
+        """
+        now = self._clock()
+        for index in self._order:
+            if self._done_path(index).exists() or self._failed_path(index).exists():
+                continue
+            stale = self._read_lease(index)
+            if stale is not None:
+                if not stale.expired(now):
+                    continue
+                if not self._reclaim(index, stale):
+                    continue  # another worker won the rename; re-pull
+            lease = self._try_claim(index)
+            if lease is not None:
+                return lease
+        return None
+
+    def _try_claim(self, index: int) -> Lease | None:
+        """Atomically create the lease file; ``None`` if a racer won."""
+        self._counter += 1
+        token = f"{self.worker_id}:{os.getpid()}:{self._counter}"
+        lease = Lease(
+            index=index,
+            point_key=point_key(self.spec.points[index]),
+            job_fingerprint=self.spec.fingerprint,
+            worker_id=self.worker_id,
+            token=token,
+            expires_at=self._clock() + self.ttl,
+        )
+        path = self._lease_path(index)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{self.worker_id}.{self._counter}.tmp")
+        tmp.write_text(json.dumps(lease.to_json(), indent=2) + "\n", encoding="utf-8")
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return None
+        finally:
+            tmp.unlink(missing_ok=True)
+        return lease
+
+    def _reclaim(self, index: int, stale: Lease) -> bool:
+        """Move an expired lease into the graveyard; ``False`` if we lost.
+
+        ``os.rename`` is the decider: exactly one reclaimer wins, every
+        loser sees ``FileNotFoundError`` and re-pulls.  The graveyard
+        record keeps the stale lease plus who reclaimed it when, feeding
+        the reclaim-latency histogram in the scheduler benchmark.
+        """
+        self._counter += 1
+        grave_dir = self.directory / "reclaimed"
+        grave_dir.mkdir(parents=True, exist_ok=True)
+        grave = grave_dir / f"{index:05d}.{self.worker_id}.{self._counter}.json"
+        try:
+            os.rename(self._lease_path(index), grave)
+        except FileNotFoundError:
+            return False
+        record = {
+            **stale.to_json(),
+            "reclaimed_by": self.worker_id,
+            "reclaimed_at": self._clock(),
+        }
+        atomic_write_json(grave, record)
+        return True
+
+    def renew(self, lease: Lease) -> Lease:
+        """Heartbeat: extend our own lease's deadline, monotonically.
+
+        Raises :class:`LeaseLost` when the lease file is gone or carries a
+        different token — someone reclaimed the point.  The new deadline is
+        ``max(current, now + ttl)``, so renewal can only extend.
+        """
+        current = self._read_lease(lease.index)
+        if current is None or current.token != lease.token:
+            raise LeaseLost(
+                f"lease on point {lease.index} was reclaimed from {lease.worker_id} "
+                f"(held now: {current.worker_id if current else 'nobody'})"
+            )
+        renewed = replace(current, expires_at=max(current.expires_at, self._clock() + self.ttl))
+        atomic_write_json(self._lease_path(lease.index), renewed.to_json())
+        return renewed
+
+    def complete(self, lease: Lease) -> Path:
+        """Mark a point done and release its lease.
+
+        The marker carries no worker attribution — a double execution after
+        a reclaim race writes byte-identical markers, so the anomaly stays
+        invisible to every downstream consumer.
+        """
+        marker = {
+            "schema": SHARD_SCHEMA_VERSION,
+            "index": lease.index,
+            "point_key": lease.point_key,
+        }
+        path = atomic_write_json(self._done_path(lease.index), marker)
+        self._release(lease)
+        return path
+
+    def fail(self, lease: Lease, record: dict) -> Path:
+        """Record a point's failure (it will not be re-leased) and release."""
+        payload = {"schema": SHARD_SCHEMA_VERSION, "index": lease.index, **record}
+        path = atomic_write_json(self._failed_path(lease.index), payload)
+        self._release(lease)
+        return path
+
+    def _release(self, lease: Lease) -> None:
+        """Drop our own lease file; a reclaimed (foreign) lease is left alone."""
+        try:
+            current = self._read_lease(lease.index)
+            if current is not None and current.token == lease.token:
+                self._lease_path(lease.index).unlink(missing_ok=True)
+        except SchedulerError:
+            pass  # unreadable successor lease: its owner's problem, not ours
+
+
+# ---------------------------------------------------------------------------
+# status / merge
+# ---------------------------------------------------------------------------
+
+
+def _marker_indices(directory: Path, kind: str) -> list[int]:
+    folder = directory / kind
+    if not folder.is_dir():
+        return []
+    return sorted(int(path.stem) for path in folder.glob("*.json"))
+
+
+def job_status(directory: str | Path, clock: Callable[[], float] | None = None) -> dict:
+    """Summarize one job: pending/leased/expired/done/failed/reclaimed counts."""
+    directory = Path(directory)
+    now = (clock if clock is not None else _now)()
+    spec = load_job(directory)
+    total = len(spec.points)
+    done = _marker_indices(directory, "done")
+    failed = _marker_indices(directory, "failed")
+    settled = {*done, *failed}
+    live = 0
+    expired = 0
+    stale = 0
+    leases_dir = directory / "leases"
+    lease_files = sorted(leases_dir.glob("*.lease")) if leases_dir.is_dir() else []
+    for path in lease_files:
+        if int(path.stem) in settled:
+            continue  # lingering lease of a finished point: not outstanding work
+        try:
+            lease = Lease.from_json(json.loads(path.read_text(encoding="utf-8")))
+        except (SchedulerError, OSError, json.JSONDecodeError):
+            stale += 1
+            continue
+        if lease.expired(now):
+            expired += 1
+        else:
+            live += 1
+    reclaimed_dir = directory / "reclaimed"
+    reclaimed = len(list(reclaimed_dir.glob("*.json"))) if reclaimed_dir.is_dir() else 0
+    return {
+        "num_points": total,
+        "policy": spec.policy,
+        "done": len(done),
+        "failed": len(failed),
+        "leased": live,
+        "expired": expired,
+        "stale_leases": stale,
+        "pending": total - len(settled) - live - expired,
+        "reclaimed": reclaimed,
+        "mergeable": len(done) == total and not failed,
+    }
+
+
+def landed_rows(directory: str | Path) -> dict[int, dict]:
+    """Rows that have landed so far, keyed by global index, manifest-vouched.
+
+    Only rows a worker manifest vouches for count (a kill between the row
+    and manifest checkpoints re-evaluates deterministically, exactly like
+    ``run_shard`` resume).  Duplicate rows from a benign double execution
+    are byte-identical, so last-writer-wins is safe.
+    """
+    directory = Path(directory)
+    spec = load_job(directory)
+    rows_by_index: dict[int, dict] = {}
+    workers_dir = directory / "workers"
+    if not workers_dir.is_dir():
+        return rows_by_index
+    for worker_dir in sorted(path for path in workers_dir.iterdir() if path.is_dir()):
+        manifest = WorkerManifest.load(worker_dir)
+        if manifest is None:
+            continue
+        if manifest.job_fingerprint != spec.fingerprint:
+            raise SchedulerError(
+                f"worker manifest in {worker_dir} belongs to a different job "
+                f"({manifest.job_fingerprint[:12]} != {spec.fingerprint[:12]})"
+            )
+        rows = _load_worker_rows(worker_dir)
+        for index, row in rows.items():
+            if index in manifest.completed:
+                rows_by_index[int(index)] = row
+    return rows_by_index
+
+
+def merge_job(
+    directory: str | Path,
+    csv_path: str | Path | None = None,
+    json_path: str | Path | None = None,
+) -> MergeResult:
+    """Reassemble per-worker artifacts into the unsharded sweep's output.
+
+    Rows are ordered by global grid index and written through the same
+    ``write_csv`` / ``write_json`` helpers the unsharded ``SweepRunner``
+    uses, so a fully completed job merges byte-identical to a
+    single-machine run of the same grid — whatever the worker count, kill
+    schedule or lease TTL was.  Failed or missing points raise
+    :class:`SchedulerError` naming them.
+    """
+    directory = Path(directory)
+    spec = load_job(directory)
+    failed = _marker_indices(directory, "failed")
+    if failed:
+        raise SchedulerError(
+            f"{len(failed)} point(s) failed (indices {failed[:5]}); "
+            "inspect failed/ and re-submit before merging"
+        )
+    rows_by_index = landed_rows(directory)
+    missing = [index for index in range(len(spec.points)) if index not in rows_by_index]
+    if missing:
+        raise SchedulerError(
+            f"{len(missing)} point(s) not yet evaluated (first missing: {missing[:5]}); "
+            "keep workers running before merging"
+        )
+    ordered = [rows_by_index[index] for index in range(len(spec.points))]
+    csv_path = Path(csv_path) if csv_path is not None else directory / "merged.csv"
+    json_path = Path(json_path) if json_path is not None else directory / "merged.json"
+    write_csv(ordered, csv_path)
+    write_json(ordered, json_path)
+    return MergeResult(csv_path=csv_path, json_path=json_path, num_rows=len(ordered))
+
+
+# ---------------------------------------------------------------------------
+# workers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerManifest:
+    """Per-worker progress record in the shard-manifest format.
+
+    ``completed`` maps the *global* point index (as a string: JSON keys) to
+    the point's :func:`~repro.experiments.sweep.point_key`; ``failures``
+    keeps the attributed :class:`~repro.experiments.sweep.PointFailure`
+    records.  Bound to the job through ``job_fingerprint`` so resuming a
+    worker directory against a different grid errors instead of mixing
+    artifacts.
+    """
+
+    worker_id: str
+    job_fingerprint: str
+    completed: dict[str, str] = field(default_factory=dict)
+    failures: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SHARD_SCHEMA_VERSION,
+            "worker_id": self.worker_id,
+            "job_fingerprint": self.job_fingerprint,
+            "completed": self.completed,
+            "failures": self.failures,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "WorkerManifest":
+        if data.get("schema") != SHARD_SCHEMA_VERSION:
+            raise SchedulerError(
+                f"worker manifest schema {data.get('schema')!r} does not match "
+                f"this code's schema {SHARD_SCHEMA_VERSION}"
+            )
+        return cls(
+            worker_id=data["worker_id"],
+            job_fingerprint=data["job_fingerprint"],
+            completed=dict(data.get("completed", {})),
+            failures=list(data.get("failures", [])),
+        )
+
+    @classmethod
+    def load(cls, worker_dir: Path) -> "WorkerManifest | None":
+        path = Path(worker_dir) / "manifest.json"
+        if not path.exists():
+            return None
+        try:
+            return cls.from_json(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, json.JSONDecodeError, KeyError) as error:
+            raise SchedulerError(f"unreadable worker manifest at {path}: {error}") from error
+
+    def save(self, worker_dir: Path) -> None:
+        atomic_write_json(Path(worker_dir) / "manifest.json", self.to_json())
+
+
+def _load_worker_rows(worker_dir: Path) -> dict[str, dict]:
+    path = Path(worker_dir) / "rows.json"
+    if not path.exists():
+        return {}
+    try:
+        return dict(json.loads(path.read_text(encoding="utf-8")))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SchedulerError(f"unreadable worker row store at {path}: {error}") from error
+
+
+class _Heartbeat:
+    """Daemon thread renewing one lease every ``interval`` real seconds.
+
+    Used as a context manager around a point's evaluation; ``lost`` flips
+    when a renewal discovers the lease was reclaimed (the evaluation still
+    finishes — its records are byte-identical to the reclaimer's, so
+    finishing is harmless and keeps the row store warm for the merge).
+    """
+
+    def __init__(self, coordinator: LeaseCoordinator, lease: Lease, interval: float):
+        self._coordinator = coordinator
+        self._lease = lease
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self.lost = False
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._lease = self._coordinator.renew(self._lease)
+            except (LeaseLost, SchedulerError, OSError):
+                self.lost = True
+                return
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """What one :meth:`LeasedWorker.run` invocation did."""
+
+    worker_id: str
+    num_acquired: int
+    num_completed: int
+    num_failed: int
+    abandoned: bool = False
+
+    def describe(self) -> str:
+        tail = ", abandoned mid-lease" if self.abandoned else ""
+        return (
+            f"worker {self.worker_id}: {self.num_acquired} leased, "
+            f"{self.num_completed} completed, {self.num_failed} failed{tail}"
+        )
+
+
+class LeasedWorker:
+    """Pull-based worker: lease, evaluate, checkpoint, repeat until drained.
+
+    Point execution goes through :meth:`SweepRunner.iter_evaluate` — the
+    single point-execution engine shared with ``run_shard`` and the
+    unsharded runner — and every finished point checkpoints the row store
+    and then the per-worker manifest (the ``run_shard`` write order), so a
+    killed worker loses at most the point it was on, and that point's
+    lease expires into someone else's hands.
+
+    ``heartbeat=True`` renews the held lease from a daemon thread every
+    ``ttl / 4`` real seconds, so a slow-but-alive worker is never
+    reclaimed.  ``abandon_after=N`` is the fault-injection hook the
+    equivalence gate and tests use: the worker exits *without releasing*
+    its ``N+1``-th lease, exactly like a SIGKILL between acquire and
+    complete.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        worker_id: str | None = None,
+        runner: SweepRunner | None = None,
+        ttl: float | None = None,
+        clock: Callable[[], float] | None = None,
+        heartbeat: bool = True,
+        poll: float | None = None,
+        max_points: int | None = None,
+        abandon_after: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.coordinator = LeaseCoordinator(directory, worker_id=worker_id, ttl=ttl, clock=clock)
+        self.directory = Path(directory)
+        self.runner = runner if runner is not None else SweepRunner(max_workers=1)
+        self.heartbeat = heartbeat
+        if poll is None:
+            poll = env.read_float("REPRO_SERVE_POLL_S")
+        self.poll = float(poll) if poll is not None else DEFAULT_POLL_S
+        self.max_points = max_points
+        self.abandon_after = abandon_after
+        self._sleep = sleep
+        self.worker_dir = self.directory / "workers" / self.coordinator.worker_id
+        self.worker_dir.mkdir(parents=True, exist_ok=True)
+        manifest = WorkerManifest.load(self.worker_dir)
+        if manifest is None:
+            manifest = WorkerManifest(
+                worker_id=self.coordinator.worker_id,
+                job_fingerprint=self.coordinator.spec.fingerprint,
+            )
+        elif manifest.job_fingerprint != self.coordinator.spec.fingerprint:
+            raise SchedulerError(
+                f"worker directory {self.worker_dir} belongs to a different job; "
+                "use a fresh worker id or directory"
+            )
+        self.manifest = manifest
+        rows = _load_worker_rows(self.worker_dir)
+        self.rows = {index: row for index, row in rows.items() if index in manifest.completed}
+
+    def _drained(self) -> bool:
+        directory = self.coordinator.directory
+        settled = len(_marker_indices(directory, "done")) + len(_marker_indices(directory, "failed"))
+        return settled >= len(self.coordinator.spec.points)
+
+    def run(self) -> WorkerReport:
+        """Drain the job (or ``max_points``); return what happened."""
+        acquired = completed = failed = 0
+        while True:
+            if self.max_points is not None and completed + failed >= self.max_points:
+                break
+            lease = self.coordinator.acquire()
+            if lease is None:
+                if self._drained():
+                    break
+                self._sleep(self.poll)
+                continue
+            acquired += 1
+            if self.abandon_after is not None and acquired > self.abandon_after:
+                # Fault injection: walk away holding the lease, like a SIGKILL.
+                return WorkerReport(
+                    worker_id=self.coordinator.worker_id,
+                    num_acquired=acquired,
+                    num_completed=completed,
+                    num_failed=failed,
+                    abandoned=True,
+                )
+            if self._evaluate(lease):
+                completed += 1
+            else:
+                failed += 1
+        return WorkerReport(
+            worker_id=self.coordinator.worker_id,
+            num_acquired=acquired,
+            num_completed=completed,
+            num_failed=failed,
+        )
+
+    def _evaluate(self, lease: Lease) -> bool:
+        """Evaluate one leased point and checkpoint its outcome."""
+        point = self.coordinator.spec.points[lease.index]
+        if self.heartbeat:
+            interval = max(self.coordinator.ttl / 4.0, 0.05)
+            with _Heartbeat(self.coordinator, lease, interval):
+                outcome = self._outcome(point)
+        else:
+            outcome = self._outcome(point)
+        if isinstance(outcome, PointFailure):
+            self.manifest.failures.append({"index": lease.index, **outcome.as_record()})
+            self.manifest.save(self.worker_dir)
+            self.coordinator.fail(lease, outcome.as_record())
+            return False
+        self.rows[str(lease.index)] = sweep_rows([point], [outcome])[0]
+        atomic_write_json(self.worker_dir / "rows.json", self.rows)
+        self.manifest.completed[str(lease.index)] = lease.point_key
+        self.manifest.save(self.worker_dir)
+        self.coordinator.complete(lease)
+        return True
+
+    def _outcome(self, point: SweepPoint):
+        for _index, outcome in self.runner.iter_evaluate([point]):
+            return outcome
+        raise SchedulerError("iter_evaluate yielded nothing for one point")
+
+
+# ---------------------------------------------------------------------------
+# command-line interface
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.scheduler",
+        description="Plan, work, inspect and merge lease-coordinated sweep jobs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = commands.add_parser("plan", help="freeze a named grid into a job")
+    plan_parser.add_argument("--grid", required=True, help="fig7 | fig7-mini | fig9a | fig9a-mini")
+    plan_parser.add_argument("--policy", choices=JOB_POLICIES, default="fifo")
+    plan_parser.add_argument("--dir", dest="job_dir", required=True)
+
+    work_parser = commands.add_parser("work", help="pull and evaluate leased points")
+    work_parser.add_argument("--dir", dest="job_dir", required=True)
+    work_parser.add_argument("--worker-id", default=None)
+    work_parser.add_argument("--ttl", type=float, default=None, help="lease ttl in seconds")
+    work_parser.add_argument("--poll", type=float, default=None, help="idle poll in seconds")
+    work_parser.add_argument("--max-points", type=int, default=None)
+    work_parser.add_argument("--max-workers", type=int, default=None, help="processes per point")
+    work_parser.add_argument("--no-heartbeat", action="store_true")
+
+    status_parser = commands.add_parser("status", help="summarize job progress")
+    status_parser.add_argument("--dir", dest="job_dir", required=True)
+
+    merge_parser = commands.add_parser("merge", help="reassemble worker artifacts")
+    merge_parser.add_argument("--dir", dest="job_dir", required=True)
+    merge_parser.add_argument("--csv", default=None)
+    merge_parser.add_argument("--json", dest="json_out", default=None)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "plan":
+            points = named_grid_points(args.grid)
+            spec = plan_job(points, policy=args.policy)
+            path = save_job(spec, args.job_dir)
+            print(f"job: {len(points)} points ({spec.policy}) at {path}")
+            return 0
+        if args.command == "work":
+            worker = LeasedWorker(
+                args.job_dir,
+                worker_id=args.worker_id,
+                runner=SweepRunner(max_workers=args.max_workers),
+                ttl=args.ttl,
+                poll=args.poll,
+                max_points=args.max_points,
+                heartbeat=not args.no_heartbeat,
+            )
+            report = worker.run()
+            print(report.describe())
+            return 0 if report.num_failed == 0 else 1
+        if args.command == "status":
+            print(json.dumps(job_status(args.job_dir), indent=2))
+            return 0
+        if args.command == "merge":
+            merged = merge_job(args.job_dir, csv_path=args.csv, json_path=args.json_out)
+            print(f"merged {merged.num_rows} rows -> {merged.csv_path}, {merged.json_path}")
+            return 0
+    except SchedulerError as error:
+        print(f"error: {error}")
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

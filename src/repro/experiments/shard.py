@@ -77,6 +77,7 @@ __all__ = [
     "load_plan",
     "main",
     "merge_shards",
+    "named_grid_points",
     "point_from_json",
     "point_to_json",
     "run_shard",
@@ -730,9 +731,13 @@ def _run_sharded_driver(points: Sequence[SweepPoint], args: argparse.Namespace) 
 # ---------------------------------------------------------------------------
 
 
-def _grid_points(name: str) -> list[SweepPoint]:
+def named_grid_points(name: str) -> list[SweepPoint]:
     """Named grids runnable straight from the CLI (imported lazily: the
-    figure drivers import this module for their own sharding flags)."""
+    figure drivers import this module for their own sharding flags).
+
+    Shared with the lease scheduler (``python -m repro.experiments.scheduler
+    plan``) and the serve front (``python -m repro.experiments.serve
+    submit``), so every orchestration layer names grids identically."""
     from repro.experiments.cswap_study import cswap_study_points
     from repro.experiments.fidelity_sweep import fidelity_sweep_points
 
@@ -783,7 +788,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "plan":
-            points = _grid_points(args.grid)
+            points = named_grid_points(args.grid)
             plan = ShardPlanner(args.shards, policy=args.policy).plan(points)
             path = save_plan(plan, args.shard_dir)
             print(

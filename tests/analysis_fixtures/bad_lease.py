@@ -1,0 +1,9 @@
+"""Fixture: touching coordinator claim files outside the scheduler module."""
+
+from pathlib import Path
+
+LEASE_SUFFIX = ".lease"
+
+
+def steal_point(directory: Path) -> None:
+    (directory / "00001.lease").write_text("{}")

@@ -32,6 +32,7 @@ def run_source(tmp_path: Path, source: str, name: str = "snippet.py") -> list:
         ("bad_compile.py", {"ENG002": 2}),
         ("bad_compile_log.py", {"ENG003": 1}),
         ("bad_env.py", {"ENV001": 3}),
+        ("bad_lease.py", {"ENG004": 2}),
         ("bad_suppression.py", {"DET002": 1, "SUP001": 1, "SUP002": 1}),
     ],
 )
@@ -137,6 +138,16 @@ def test_pool_rule_exempts_sweep_engine(tmp_path: Path) -> None:
     assert run_on(experiments / "sweep.py") == []
     (experiments / "rogue.py").write_text(source, encoding="utf-8")
     assert [f.rule_id for f in run_on(experiments / "rogue.py")] == ["ENG001"]
+
+
+def test_lease_rule_exempts_the_coordinator_module(tmp_path: Path) -> None:
+    source = 'SUFFIX = ".lease"\n'
+    experiments = tmp_path / "repro" / "experiments"
+    experiments.mkdir(parents=True)
+    (experiments / "scheduler.py").write_text(source, encoding="utf-8")
+    assert run_on(experiments / "scheduler.py") == []
+    (experiments / "rogue.py").write_text(source, encoding="utf-8")
+    assert [f.rule_id for f in run_on(experiments / "rogue.py")] == ["ENG004"]
 
 
 def test_env_rule_exempts_registry_module(tmp_path: Path) -> None:

@@ -1,0 +1,537 @@
+"""Tests for the lease-based work-stealing coordinator (repro.experiments.scheduler).
+
+The core invariants: exactly one worker wins any claim/reclaim race (atomic
+link/rename decides, the loser re-pulls), dead workers' leases expire and
+their points are re-leased, heartbeats keep slow-but-alive workers from
+being reclaimed, stale on-disk state from another SHARD_SCHEMA_VERSION is
+rejected loudly — and for any worker count, kill schedule and lease-TTL
+setting, ``merge_job`` output is **byte-identical** to an unsharded
+``SweepRunner`` run of the same grid.
+
+Lease timing runs on an injected fake clock, so no test sleeps to make a
+deadline pass; the two heartbeat-thread tests use real (sub-second) clocks
+because the renewal thread is real.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.compile_cache import reset_cache
+from repro.core.emitter import CompilationError
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.fidelity_sweep import fidelity_sweep_points
+from repro.experiments.scheduler import (
+    SHARD_SCHEMA_VERSION,
+    JobSpec,
+    Lease,
+    LeaseCoordinator,
+    LeasedWorker,
+    LeaseLost,
+    SchedulerError,
+    WorkerManifest,
+    job_status,
+    landed_rows,
+    load_job,
+    merge_job,
+    plan_job,
+    save_job,
+)
+from repro.experiments.sweep import SweepRunner, point_key
+
+REPO_ROOT = Path(__file__).parents[1]
+
+
+def wait_for_lease_held_by(directory, worker_id, timeout=10.0):
+    """Block until ``worker_id`` holds the lease on point 0 (real clock)."""
+    lease_path = directory / "leases" / "00000.lease"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if json.loads(lease_path.read_text())["worker_id"] == worker_id:
+                return
+        except (OSError, json.JSONDecodeError):
+            pass
+        time.sleep(0.01)
+    pytest.fail(f"worker {worker_id!r} never claimed the lease")
+
+
+def mini_points(num_trajectories=2):
+    """The Fig. 7 mini-grid: cnu-5 under the six Figure 7 strategies."""
+    return fidelity_sweep_points(
+        workloads=("cnu",), sizes=(5,), num_trajectories=num_trajectories, rng=0
+    )
+
+
+class FakeClock:
+    """Deterministic lease timebase: advances only when a test says so."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def shared_cache(tmp_path, monkeypatch):
+    """A fresh shared REPRO_CACHE_DIR, as workers on a common mount would see."""
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    reset_cache()
+    yield cache_dir
+    reset_cache()
+
+
+def compile_log_keys(cache_dir):
+    log = cache_dir / "compile-log.txt"
+    if not log.exists():
+        return []
+    return [line.split()[1] for line in log.read_text().splitlines()]
+
+
+def make_job(directory, points=None, policy="fifo", **plan_kwargs):
+    spec = plan_job(points if points is not None else mini_points(), policy=policy, **plan_kwargs)
+    save_job(spec, directory)
+    return spec
+
+
+def make_worker(directory, worker_id, clock, ttl=10.0, **kwargs):
+    kwargs.setdefault("runner", SweepRunner(max_workers=1))
+    kwargs.setdefault("heartbeat", False)
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return LeasedWorker(directory, worker_id=worker_id, ttl=ttl, clock=clock, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# job specs
+# ---------------------------------------------------------------------------
+
+
+class TestJobSpec:
+    def test_round_trips_through_json(self, tmp_path):
+        spec = make_job(tmp_path / "job")
+        loaded = load_job(tmp_path / "job")
+        assert loaded == spec
+        assert loaded.fingerprint == spec.fingerprint
+
+    def test_rejects_other_schema_versions(self, tmp_path):
+        directory = tmp_path / "job"
+        spec = make_job(directory)
+        payload = spec.to_json()
+        payload["schema"] = SHARD_SCHEMA_VERSION + 1
+        (directory / "job.json").write_text(json.dumps(payload))
+        with pytest.raises(SchedulerError, match="schema"):
+            load_job(directory)
+
+    def test_rejects_tampered_contents(self, tmp_path):
+        directory = tmp_path / "job"
+        spec = make_job(directory)
+        payload = spec.to_json()
+        payload["priorities"][0] = 99.0
+        (directory / "job.json").write_text(json.dumps(payload))
+        with pytest.raises(SchedulerError, match="fingerprint"):
+            load_job(directory)
+
+    def test_rejects_unknown_policy_and_bad_priorities(self):
+        points = tuple(mini_points())
+        with pytest.raises(SchedulerError, match="policy"):
+            JobSpec(points=points, policy="lifo", priorities=(0.0,) * len(points))
+        with pytest.raises(SchedulerError, match="priorit"):
+            JobSpec(points=points, policy="fifo", priorities=(0.0,))
+
+    def test_fifo_order_is_grid_order(self):
+        spec = plan_job(mini_points(), policy="fifo")
+        assert spec.acquisition_order() == list(range(len(spec.points)))
+        assert spec.priorities == (0.0,) * len(spec.points)
+
+    def test_cost_weighted_order_leases_expensive_points_first(self):
+        points = mini_points()
+        costs = {point_key(p): float(i * i % 7) for i, p in enumerate(points)}
+        spec = plan_job(points, policy="cost-weighted", cost_fn=lambda p: costs[point_key(p)])
+        order = spec.acquisition_order()
+        ordered_costs = [spec.priorities[index] for index in order]
+        assert ordered_costs == sorted(ordered_costs, reverse=True)
+        # Ties break on the lower index, so the order is fully deterministic.
+        assert order == sorted(
+            range(len(points)), key=lambda index: (-spec.priorities[index], index)
+        )
+
+
+# ---------------------------------------------------------------------------
+# the lease protocol
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseProtocol:
+    def test_acquire_follows_priority_order_and_skips_settled(self, tmp_path):
+        directory = tmp_path / "job"
+        points = mini_points()
+        make_job(directory, points, policy="cost-weighted", cost_fn=lambda p: float(p.seed % 5))
+        clock = FakeClock()
+        coordinator = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        first = coordinator.acquire()
+        assert first is not None
+        assert first.index == coordinator.spec.acquisition_order()[0]
+        coordinator.complete(first)
+        second = coordinator.acquire()
+        assert second is not None
+        assert second.index == coordinator.spec.acquisition_order()[1]
+
+    def test_live_lease_blocks_other_workers(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        b = LeaseCoordinator(directory, worker_id="b", ttl=10, clock=clock)
+        lease = a.acquire()
+        assert lease is not None and lease.worker_id == "a"
+        assert b.acquire() is None
+        clock.advance(9.9)
+        assert b.acquire() is None  # still live: deadline has not passed
+
+    def test_expired_lease_is_reclaimed_and_re_leased(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        b = LeaseCoordinator(directory, worker_id="b", ttl=10, clock=clock)
+        dead = a.acquire()  # worker a "dies" holding the lease
+        assert dead is not None
+        clock.advance(10.1)
+        release = b.acquire()
+        assert release is not None
+        assert release.index == dead.index and release.worker_id == "b"
+        status = job_status(directory, clock=clock)
+        assert status["reclaimed"] == 1 and status["leased"] == 1
+
+    def test_renewal_prevents_reclaim_of_slow_but_alive_worker(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        b = LeaseCoordinator(directory, worker_id="b", ttl=10, clock=clock)
+        lease = a.acquire()
+        clock.advance(8.0)
+        renewed = a.renew(lease)  # the heartbeat fires before the deadline
+        assert renewed.expires_at == clock() + 10
+        clock.advance(4.0)  # past the *original* deadline, inside the renewed one
+        assert b.acquire() is None
+        assert job_status(directory, clock=clock)["reclaimed"] == 0
+
+    def test_renewal_only_moves_deadlines_forward(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        lease = a.acquire()
+        clock.now -= 5.0  # a backwards clock step must not shrink the lease
+        renewed = a.renew(lease)
+        assert renewed.expires_at == lease.expires_at
+
+    def test_renew_after_reclaim_raises_lease_lost(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        b = LeaseCoordinator(directory, worker_id="b", ttl=10, clock=clock)
+        lease = a.acquire()
+        clock.advance(10.1)
+        assert b.acquire() is not None  # b reclaims and re-leases the point
+        with pytest.raises(LeaseLost, match="reclaimed"):
+            a.renew(lease)
+
+    def test_reclaim_race_atomic_rename_decides_and_loser_repulls(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:2])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        b = LeaseCoordinator(directory, worker_id="b", ttl=10, clock=clock)
+        dead = a.acquire()
+        clock.advance(10.1)
+        stale = b._read_lease(dead.index)
+        # Both workers see the expired lease; exactly one rename can win.
+        assert a._reclaim(dead.index, stale) is True
+        assert b._reclaim(dead.index, stale) is False
+        # The loser re-pulls and still makes progress (the freed point is
+        # unclaimed, so the very next acquire picks it up).
+        release = b.acquire()
+        assert release is not None and release.index == dead.index
+
+    def test_claim_race_atomic_link_decides(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        b = LeaseCoordinator(directory, worker_id="b", ttl=10, clock=clock)
+        assert a._try_claim(0) is not None
+        assert b._try_claim(0) is None  # os.link refuses to replace the file
+        # Neither claim attempt leaves tmp droppings behind.
+        assert sorted(p.name for p in (directory / "leases").iterdir()) == ["00000.lease"]
+
+    def test_stale_lease_from_other_schema_version_is_rejected(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        coordinator = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        lease_dir = directory / "leases"
+        lease_dir.mkdir(parents=True, exist_ok=True)
+        stale = {
+            "schema": SHARD_SCHEMA_VERSION + 1,
+            "index": 0,
+            "point_key": "k",
+            "job_fingerprint": "f",
+            "worker_id": "ghost",
+            "token": "ghost:1:1",
+            "expires_at": 0.0,
+        }
+        (lease_dir / "00000.lease").write_text(json.dumps(stale))
+        with pytest.raises(SchedulerError, match="stale leases are rejected"):
+            coordinator.acquire()
+
+    def test_release_leaves_a_successor_lease_alone(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        b = LeaseCoordinator(directory, worker_id="b", ttl=10, clock=clock)
+        lost = a.acquire()
+        clock.advance(10.1)
+        successor = b.acquire()
+        # a finishes its (reclaimed) evaluation: the done marker lands, but
+        # b's live lease must survive a's release.
+        a.complete(lost)
+        current = b._read_lease(successor.index)
+        assert current is not None and current.token == successor.token
+
+    def test_done_markers_carry_no_worker_attribution(self, tmp_path):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points()[:1])
+        clock = FakeClock()
+        a = LeaseCoordinator(directory, worker_id="a", ttl=10, clock=clock)
+        b = LeaseCoordinator(directory, worker_id="b", ttl=10, clock=clock)
+        lost = a.acquire()
+        clock.advance(10.1)
+        successor = b.acquire()
+        a.complete(lost)
+        first = (directory / "done" / "00000.json").read_bytes()
+        b.complete(successor)  # benign double execution: byte-identical marker
+        assert (directory / "done" / "00000.json").read_bytes() == first
+
+
+# ---------------------------------------------------------------------------
+# the worker loop
+# ---------------------------------------------------------------------------
+
+
+class TestLeasedWorker:
+    def test_kill_schedule_merges_byte_identical_to_unsharded(self, tmp_path, shared_cache):
+        points = mini_points()
+        unsharded_csv = tmp_path / "unsharded.csv"
+        unsharded_json = tmp_path / "unsharded.json"
+        SweepRunner(max_workers=1, csv_path=unsharded_csv, json_path=unsharded_json).run(points)
+        cold_keys = compile_log_keys(shared_cache)
+
+        directory = tmp_path / "job"
+        make_job(directory, points)
+        clock = FakeClock()
+        killed = make_worker(directory, "w0", clock, abandon_after=1)
+        report = killed.run()
+        assert report.abandoned and report.num_completed == 1
+        assert job_status(directory, clock=clock)["leased"] == 1
+
+        clock.advance(10.1)  # the abandoned lease expires...
+        drainer = make_worker(directory, "w1", clock)
+        report = drainer.run()
+        assert report.num_completed == len(points) - 1
+
+        status = job_status(directory, clock=clock)
+        assert status["mergeable"] and status["reclaimed"] == 1
+        merged = merge_job(directory)
+        assert merged.csv_path.read_bytes() == unsharded_csv.read_bytes()
+        assert merged.json_path.read_bytes() == unsharded_json.read_bytes()
+        # The leased pass reused every compilation the unsharded pass cached,
+        # and no key was ever compiled twice.
+        keys = compile_log_keys(shared_cache)
+        assert keys == cold_keys
+        assert len(keys) == len(set(keys))
+
+    def test_failure_is_recorded_not_re_leased_and_blocks_merge(
+        self, tmp_path, shared_cache, monkeypatch
+    ):
+        points = mini_points()
+        directory = tmp_path / "job"
+        make_job(directory, points)
+        poison = point_key(points[2])
+
+        real_evaluate = sweep_mod.evaluate_point
+
+        def failing_evaluate(point):
+            if point_key(point) == poison:
+                raise CompilationError("injected failure", gate="CCX", pass_name="emit")
+            return real_evaluate(point)
+
+        monkeypatch.setattr(sweep_mod, "evaluate_point", failing_evaluate)
+        clock = FakeClock()
+        worker = make_worker(directory, "w0", clock)
+        report = worker.run()
+        assert report.num_failed == 1 and report.num_completed == len(points) - 1
+
+        status = job_status(directory, clock=clock)
+        assert status["failed"] == 1 and not status["mergeable"]
+        record = json.loads((directory / "failed" / "00002.json").read_text())
+        assert record["point_key"] == poison
+        assert record["error_type"] == "CompilationError" and record["gate"] == "CCX"
+        with pytest.raises(SchedulerError, match="failed"):
+            merge_job(directory)
+
+    def test_worker_directory_is_bound_to_its_job(self, tmp_path, shared_cache):
+        points = mini_points()
+        first = tmp_path / "first"
+        make_job(first, points)
+        clock = FakeClock()
+        make_worker(first, "w0", clock, max_points=1).run()
+        # Re-pointing the same worker directory at a different job must fail.
+        second = tmp_path / "second"
+        make_job(second, points[:3])
+        (second / "workers").mkdir(parents=True, exist_ok=True)
+        (first / "workers" / "w0").rename(second / "workers" / "w0")
+        with pytest.raises(SchedulerError, match="different job"):
+            make_worker(second, "w0", clock)
+
+    def test_max_points_stops_early_without_draining(self, tmp_path, shared_cache):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points())
+        clock = FakeClock()
+        report = make_worker(directory, "w0", clock, max_points=2).run()
+        assert report.num_completed == 2 and not report.abandoned
+        assert job_status(directory, clock=clock)["done"] == 2
+
+    def test_landed_rows_rejects_foreign_worker_manifests(self, tmp_path, shared_cache):
+        directory = tmp_path / "job"
+        make_job(directory, mini_points())
+        worker_dir = directory / "workers" / "ghost"
+        worker_dir.mkdir(parents=True)
+        WorkerManifest(worker_id="ghost", job_fingerprint="not-this-job").save(worker_dir)
+        with pytest.raises(SchedulerError, match="different job"):
+            landed_rows(directory)
+
+    def test_heartbeat_keeps_slow_worker_alive_under_a_real_clock(self, tmp_path, shared_cache):
+        points = mini_points(num_trajectories=0)[:1]  # compile-only: fast
+        directory = tmp_path / "job"
+        make_job(directory, points)
+
+        class SlowRunner(SweepRunner):
+            def iter_evaluate(self, batch):
+                time.sleep(0.8)  # several TTLs long
+                yield from super().iter_evaluate(batch)
+
+        worker = LeasedWorker(
+            directory,
+            worker_id="slow",
+            runner=SlowRunner(max_workers=1),
+            ttl=0.3,
+            heartbeat=True,
+        )
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        wait_for_lease_held_by(directory, "slow")
+        rival = LeaseCoordinator(directory, worker_id="rival", ttl=0.3)
+        stolen = 0
+        while thread.is_alive():
+            if rival.acquire() is not None:
+                stolen += 1
+            time.sleep(0.02)
+        thread.join()
+        assert stolen == 0, "heartbeat renewal failed to keep the slow worker's lease alive"
+        assert job_status(directory)["done"] == 1
+
+    def test_without_heartbeat_the_same_slow_worker_is_reclaimed(self, tmp_path, shared_cache):
+        points = mini_points(num_trajectories=0)[:1]
+        directory = tmp_path / "job"
+        make_job(directory, points)
+
+        class SlowRunner(SweepRunner):
+            def iter_evaluate(self, batch):
+                time.sleep(0.8)
+                yield from super().iter_evaluate(batch)
+
+        worker = LeasedWorker(
+            directory,
+            worker_id="slow",
+            runner=SlowRunner(max_workers=1),
+            ttl=0.15,
+            heartbeat=False,
+        )
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        wait_for_lease_held_by(directory, "slow")
+        rival = LeaseCoordinator(directory, worker_id="rival", ttl=0.15)
+        stolen = None
+        deadline = time.monotonic() + 5.0
+        while stolen is None and time.monotonic() < deadline:
+            stolen = rival.acquire()
+            time.sleep(0.02)
+        thread.join()
+        assert stolen is not None, "an unrenewed lease should expire and be reclaimed"
+        # Both executions finish; their records are byte-identical, so the
+        # double execution is benign and the job still merges.
+        rival.complete(stolen)
+        assert job_status(directory)["done"] == 1
+
+    def test_sigkilled_worker_subprocess_points_are_reclaimed(self, tmp_path, shared_cache):
+        """A worker killed with SIGKILL strands its lease; expiry frees it."""
+        points = mini_points()
+        directory = tmp_path / "job"
+        make_job(directory, points)
+        env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.scheduler",
+                "work",
+                "--dir",
+                str(directory),
+                "--worker-id",
+                "victim",
+                "--ttl",
+                "600",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            leases = directory / "leases"
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if leases.is_dir() and any(leases.glob("*.lease")):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("subprocess worker never claimed a lease")
+            process.send_signal(signal.SIGKILL)
+        finally:
+            process.wait()
+
+        # The victim's lease has a 600 s deadline in real wall-clock time; a
+        # clock injected 601 s ahead sees it expired, reclaims and drains.
+        clock = FakeClock(start=time.time() + 601.0)
+        drainer = make_worker(directory, "drainer", clock, ttl=600)
+        drainer.run()
+        status = job_status(directory, clock=clock)
+        assert status["mergeable"] and status["reclaimed"] >= 1
+        merge_job(directory)

@@ -476,7 +476,7 @@ class TestCommandLine:
         assert status["mergeable"]
         assert shard_mod.main(["merge", "--dir", str(directory)]) == 0
 
-        points = shard_mod._grid_points("fig7-mini")
+        points = shard_mod.named_grid_points("fig7-mini")
         unsharded_csv, _ = run_unsharded(points, tmp_path)
         assert (directory / "merged.csv").read_bytes() == unsharded_csv.read_bytes()
 

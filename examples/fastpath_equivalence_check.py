@@ -34,6 +34,10 @@ def main() -> int:
         print("error: REPRO_CACHE_DIR must be set for the fastpath-equivalence check")
         return 2
     os.environ.pop("REPRO_NO_FASTPATH", None)
+    # The mini-grid runs 4 trajectories per point — below the default
+    # publication threshold — and the warm pass audits disk hits, so the
+    # gate must be opened for this check.
+    os.environ["REPRO_FASTPATH_MIN_TRAJ"] = "1"
 
     from repro.core.compile_cache import get_cache
     from repro.experiments.fidelity_sweep import run_fidelity_sweep

@@ -10,7 +10,9 @@ comments, CI output and the ROADMAP's standing-invariants table):
 * ``ENG002`` — trajectory compilation must go through the cache,
 * ``ENG003`` — nothing but the cache touches ``compile-log.txt``,
 * ``ENG004`` — lease files are written only by the coordinator,
-* ``ENV001`` — environment reads go through :mod:`repro.core.env`.
+* ``ENV001`` — environment reads go through :mod:`repro.core.env`,
+* ``STAT001`` — the opt-in adaptive estimators are never imported at
+  module level by default paths.
 
 The engine additionally emits ``SUP001``/``SUP002`` (suppression hygiene)
 and ``PARSE001`` (unparseable source); :mod:`repro.analysis.fingerprint`
@@ -25,6 +27,7 @@ from typing import Iterator
 from repro.analysis.engine import Finding, ModuleContext, Rule
 
 __all__ = [
+    "AdaptiveImportRule",
     "DEFAULT_RULES",
     "DirectEnvReadRule",
     "PoolOutsideEngineRule",
@@ -453,6 +456,64 @@ class DirectEnvReadRule(Rule):
                     )
 
 
+class AdaptiveImportRule(Rule):
+    """STAT001: default paths never import the adaptive estimators."""
+
+    rule_id = "STAT001"
+    title = "adaptive estimator imported at module level"
+    invariant = (
+        "statistical containment: repro.noise.adaptive / repro.noise.stats "
+        "are opt-in estimators; default execution paths stay byte-for-byte "
+        "untouched, so only function-scoped (lazy) imports behind an "
+        "explicit target_stderr opt-in may reach them"
+    )
+    # The estimator package itself is the one module-level consumer.
+    exempt = ("repro/noise/adaptive.py",)
+
+    _MODULES = ("repro.noise.adaptive", "repro.noise.stats")
+
+    def _matches(self, name: str | None) -> bool:
+        if name is None:
+            return False
+        return any(name == mod or name.startswith(mod + ".") for mod in self._MODULES)
+
+    def _module_level(self, tree: ast.Module) -> Iterator[ast.stmt]:
+        """Statements executed at import time (function bodies excluded)."""
+        pending: list[ast.stmt] = list(tree.body)
+        while pending:
+            node = pending.pop(0)
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # lazy imports inside functions are the sanctioned form
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    pending.append(child)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in self._module_level(module.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if self._matches(name.name):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"imports {name.name} at module level; the adaptive "
+                            "estimators are opt-in — import them inside the "
+                            "function that handles target_stderr",
+                        )
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                names = [f"{node.module}.{name.name}" for name in node.names if name.name != "*"]
+                for full in names:
+                    if self._matches(full) or self._matches(node.module):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"imports {full} at module level; the adaptive "
+                            "estimators are opt-in — import them inside the "
+                            "function that handles target_stderr",
+                        )
+
+
 DEFAULT_RULES: tuple[Rule, ...] = (
     UnseededRngRule(),
     WallClockRule(),
@@ -462,4 +523,5 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     UnmanagedCompileLogRule(),
     UnmanagedLeaseRule(),
     DirectEnvReadRule(),
+    AdaptiveImportRule(),
 )

@@ -86,6 +86,42 @@ REGISTRY: tuple[EnvKnob, ...] = (
         description="In-process no-jump record store budget, in megabytes.",
     ),
     EnvKnob(
+        name="REPRO_FASTPATH_MIN_TRAJ",
+        kind="int",
+        default="8",
+        description=(
+            "Minimum trajectories in a fast-path run before no-jump records are "
+            "published to the disk cache (one-shot cold runs skip the write tax)."
+        ),
+    ),
+    EnvKnob(
+        name="REPRO_ADAPTIVE_ROUND",
+        kind="int",
+        default="32",
+        description=(
+            "Trajectories per round of the adaptive sampling mode; early stopping "
+            "is decided only at round boundaries (the determinism granularity)."
+        ),
+    ),
+    EnvKnob(
+        name="REPRO_ADAPTIVE_MAX_TRAJ",
+        kind="int",
+        default="4096",
+        description=(
+            "Hard trajectory cap for adaptive points that do not set an explicit "
+            "integer budget (`num_trajectories=\"auto\"`)."
+        ),
+    ),
+    EnvKnob(
+        name="REPRO_ADAPTIVE_SPEEDUP_GATE",
+        kind="float",
+        default="2.0",
+        description=(
+            "Minimum adaptive-vs-fixed-count speedup to equal stderr the benchmark "
+            "gate asserts (0 = report only)."
+        ),
+    ),
+    EnvKnob(
         name="REPRO_SPEEDUP_GATE",
         kind="float",
         default="4.0",

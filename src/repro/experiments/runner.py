@@ -41,7 +41,13 @@ class StrategyEvaluation:
         return self.simulation.std_error if self.simulation is not None else 0.0
 
     def as_row(self) -> dict:
-        """Return a flat dict suitable for CSV-style reporting."""
+        """Return a flat dict suitable for CSV-style reporting.
+
+        Adaptive simulations (:class:`~repro.noise.adaptive.AdaptiveResult`)
+        append their extra columns through ``adaptive_row()`` — duck-typed,
+        so this module never imports the opt-in estimator (rule STAT001) and
+        fixed-count rows keep exactly their historical keys.
+        """
         row = {
             "circuit": self.circuit_name,
             "num_qubits": self.num_qubits,
@@ -54,6 +60,9 @@ class StrategyEvaluation:
             "fidelity": self.mean_fidelity,
             "std_error": self.std_error,
         }
+        extras = getattr(self.simulation, "adaptive_row", None)
+        if callable(extras):
+            row.update(extras())
         return row
 
 

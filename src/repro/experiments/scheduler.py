@@ -11,7 +11,11 @@ operations every POSIX mount provides:
   policy (``fifo``, or ``cost-weighted`` — PR 4's LPT cost estimates
   reused as a priority queue instead of a partition), and a fingerprint
   binding every durable record to the exact grid, under the same
-  ``SHARD_SCHEMA_VERSION`` discipline as shard plans.
+  ``SHARD_SCHEMA_VERSION`` discipline as shard plans.  Adaptive points
+  (``num_trajectories="auto"`` / ``target_stderr``) are costed at the
+  fixed nominal budget :func:`~repro.experiments.shard.estimate_point_cost`
+  documents — their true count is decided by the data at run time, and
+  acquisition order never changes results anyway.
 * :class:`LeaseCoordinator` hands out **leases**: per-point claim files
   whose creation (tmp write + ``os.link``) and reclamation (``os.rename``
   into a graveyard) are atomic, so exactly one worker wins any race.

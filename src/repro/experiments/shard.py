@@ -90,7 +90,13 @@ POLICIES = ("round-robin", "cost-weighted")
 
 #: Bump when the plan/manifest layout changes; old state then errors loudly
 #: instead of resuming against a different format.
-SHARD_SCHEMA_VERSION = 1
+#: v2: points carry ``target_stderr`` (the adaptive sampling opt-in).
+SHARD_SCHEMA_VERSION = 2
+
+#: Planning-time trajectory stand-in for adaptive points: their true count
+#: is data-dependent (early stopping), so cost-weighted placement uses a
+#: fixed nominal budget — scheduling only, never results.
+_ADAPTIVE_PLANNING_TRAJECTORIES = 256
 
 
 class ShardError(RuntimeError):
@@ -128,6 +134,7 @@ def point_to_json(point: SweepPoint) -> dict:
         "axis": point.axis,
         "workload_kwargs": [[name, value] for name, value in point.workload_kwargs],
         "workers": point.workers,
+        "target_stderr": point.target_stderr,
     }
 
 
@@ -145,6 +152,7 @@ def point_from_json(data: dict) -> SweepPoint:
         axis=data["axis"],
         workload_kwargs=tuple((name, value) for name, value in data["workload_kwargs"]),
         workers=data["workers"],
+        target_stderr=data["target_stderr"],
     )
 
 
@@ -223,11 +231,21 @@ def estimate_point_cost(point: SweepPoint) -> float:
     The compilation goes through the shared cache (`$REPRO_CACHE_DIR`), so
     cost-weighted planning doubles as a cache warm-up: every shard that later
     executes the point reuses the artifact the planner already published.
+
+    Adaptive points stop when their data says so, which planning cannot
+    know; they are costed at a fixed nominal budget (capped by an explicit
+    integer ``num_trajectories`` when the point sets one).
     """
     compilation = _compiled(
         point.workload, point.size, point.workload_kwargs, point.strategy, point.error_factor
     )
-    return float(compilation.num_ops) * float(max(point.num_trajectories, 1))
+    if point.num_trajectories == "auto" or point.target_stderr is not None:
+        trajectories = _ADAPTIVE_PLANNING_TRAJECTORIES
+        if isinstance(point.num_trajectories, int) and point.num_trajectories > 0:
+            trajectories = min(trajectories, point.num_trajectories)
+    else:
+        trajectories = max(point.num_trajectories, 1)
+    return float(compilation.num_ops) * float(trajectories)
 
 
 class ShardPlanner:

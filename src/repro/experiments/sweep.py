@@ -85,6 +85,15 @@ class SweepPoint:
     ``TrajectorySimulator.average_fidelity``); results are bit-for-bit
     independent of the value.  ``None`` leaves the count to the runner's
     scheduling (point-level fan-out keeps it at 1).
+
+    ``target_stderr`` opts the point into the adaptive sampling mode
+    (:mod:`repro.noise.adaptive`): trajectories run until the estimator's
+    standard error reaches the target, with ``num_trajectories`` as the hard
+    cap (``num_trajectories="auto"`` delegates the cap to
+    ``REPRO_ADAPTIVE_MAX_TRAJ``).  Adaptive rows carry the extra
+    ``n_used`` / ``stderr`` / ``ess`` columns and are reproducible like
+    fixed-count rows — same seed and config give identical bytes for any
+    worker count, shard plan or fastpath toggle.
     """
 
     workload: str
@@ -92,12 +101,13 @@ class SweepPoint:
     strategy: str
     error_factor: float = 1.0
     coherence_scale: float = 1.0
-    num_trajectories: int = 0
+    num_trajectories: int | str = 0
     seed: int = 0
     batch_size: int | str | None = "auto"
     axis: float | None = None  # the swept value, carried through to results
     workload_kwargs: tuple[tuple[str, Any], ...] = ()
     workers: int | None = None  # trajectory-level processes for this point
+    target_stderr: float | None = None  # adaptive mode opt-in (None: fixed count)
 
     @property
     def strategy_enum(self) -> Strategy:
@@ -162,10 +172,24 @@ def _compiled(
     return get_cache().get_or_create(key, build)
 
 
+def _point_simulates(point: SweepPoint) -> bool:
+    """Whether the point runs a trajectory simulation at all.
+
+    Fixed-count points simulate when their budget is positive; adaptive
+    points (``num_trajectories="auto"`` or ``target_stderr`` set) always do.
+    """
+    if point.num_trajectories == "auto" or point.target_stderr is not None:
+        return True
+    return point.num_trajectories > 0
+
+
 def _resolve_batch_size(point: SweepPoint, hilbert_dim: int) -> int | None:
     if point.batch_size == "auto":
         if hilbert_dim > _AUTO_BATCH_DIM_LIMIT:
             return None
+        if point.num_trajectories == "auto":
+            # Adaptive rounds (REPRO_ADAPTIVE_ROUND) exceed the default block.
+            return DEFAULT_BATCH_SIZE
         return min(DEFAULT_BATCH_SIZE, max(point.num_trajectories, 1))
     return point.batch_size
 
@@ -180,7 +204,7 @@ def evaluate_point(point: SweepPoint) -> StrategyEvaluation:
     metrics = evaluate_metrics(physical, coherence)
 
     simulation = None
-    if point.num_trajectories > 0:
+    if _point_simulates(point):
         simulator = TrajectorySimulator(NoiseModel(coherence=coherence), rng=point.seed)
         hilbert_dim = int(np.prod(physical.device_dims))
         simulation = simulator.average_fidelity(
@@ -188,6 +212,7 @@ def evaluate_point(point: SweepPoint) -> StrategyEvaluation:
             num_trajectories=point.num_trajectories,
             batch_size=_resolve_batch_size(point, hilbert_dim),
             workers=point.workers,
+            target_stderr=point.target_stderr,
         )
     return StrategyEvaluation(
         circuit_name=compilation.logical_circuit.name,
@@ -210,23 +235,28 @@ def point_key(point: SweepPoint) -> str:
     invariant), and :meth:`SweepRunner.schedule` rewrites it to a
     machine-dependent count — hashing it would make the same grid point key
     differently on different hosts.
+
+    ``target_stderr`` enters the key only when set: default (fixed-count)
+    points keep exactly their pre-adaptive keys, so existing plans,
+    manifests and failure artifacts stay valid.
     """
     kwargs = ";".join(f"{name}={value!r}" for name, value in point.workload_kwargs)
-    return fingerprint(
-        [
-            "sweep-point",
-            point.workload,
-            str(point.size),
-            point.strategy,
-            repr(point.error_factor),
-            repr(point.coherence_scale),
-            str(point.num_trajectories),
-            str(point.seed),
-            repr(point.batch_size),
-            repr(point.axis),
-            kwargs,
-        ]
-    )
+    fields = [
+        "sweep-point",
+        point.workload,
+        str(point.size),
+        point.strategy,
+        repr(point.error_factor),
+        repr(point.coherence_scale),
+        str(point.num_trajectories),
+        str(point.seed),
+        repr(point.batch_size),
+        repr(point.axis),
+        kwargs,
+    ]
+    if point.target_stderr is not None:
+        fields.append(f"target_stderr={point.target_stderr!r}")
+    return fingerprint(fields)
 
 
 @dataclass(frozen=True)
@@ -417,7 +447,7 @@ class SweepRunner:
         setting = self.trajectory_workers
         if setting is None or setting == 1:
             return points, False
-        simulated = sum(1 for p in points if p.num_trajectories > 0)
+        simulated = sum(1 for p in points if _point_simulates(p))
         if simulated == 0:
             return points, False
         if setting == "auto":
@@ -431,7 +461,7 @@ class SweepRunner:
             inner = setting
         annotated = [
             replace(p, workers=inner)
-            if p.num_trajectories > 0 and p.workers is None
+            if _point_simulates(p) and p.workers is None
             else p
             for p in points
         ]
@@ -529,15 +559,29 @@ def sweep_rows(
 
 
 def write_csv(rows: Sequence[dict], path: str | Path) -> Path:
-    """Write sweep rows to a CSV file (parent directories are created)."""
+    """Write sweep rows to a CSV file (parent directories are created).
+
+    Columns are the union of all row keys in first-seen order, so a grid
+    mixing fixed-count and adaptive points (whose rows add ``n_used`` /
+    ``stderr`` / ``ess``) still writes one coherent header; rows missing a
+    column leave the cell empty.  For uniform grids — every default-mode
+    sweep — the union equals the first row's keys, so the bytes are
+    unchanged.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     if not rows:
         path.write_text("")
         return path
     fieldnames = list(rows[0])
+    seen = set(fieldnames)
+    for row in rows[1:]:
+        for name in row:
+            if name not in seen:
+                seen.add(name)
+                fieldnames.append(name)
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
         writer.writeheader()
         writer.writerows(rows)
     return path

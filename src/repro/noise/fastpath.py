@@ -35,10 +35,24 @@ Records persist through the shared compilation-artifact cache
 (``$REPRO_CACHE_DIR``, keyed by program fingerprint, backend, checkpoint
 stride, schema version and the SHA-256 of the input state), so repeated
 sweeps, resumed shards and forked workers reuse each unique no-jump
-evolution instead of recomputing it.  ``REPRO_NO_FASTPATH=1`` disables the
-fast path entirely; ``REPRO_FASTPATH_STRIDE`` overrides the checkpoint
-stride (steps per segment); ``REPRO_FASTPATH_MEMORY_MB`` bounds the
-in-process record store.
+evolution instead of recomputing it.  Runs below
+``REPRO_FASTPATH_MIN_TRAJ`` trajectories keep their records in memory but
+skip the disk publication: a one-shot cold run has nothing to amortize the
+write against (the ~1.1x publishing tax the PR 5 benchmarks measured), while
+anything at or above the threshold keeps the full warm-reuse behavior.
+
+:func:`prescan_trajectories` exposes the draw replay as a batch
+classification API for the adaptive sampling mode
+(:mod:`repro.noise.adaptive`): it clones the live streams, builds the
+*complete* no-jump record of every input state, and reports per trajectory
+whether it stays clean, its exact clean probability (the ordered product of
+the recorded per-event no-jump branch probabilities) and the fidelity of the
+recorded no-jump final — all without consuming a live stream or touching the
+default execution paths.
+
+``REPRO_NO_FASTPATH=1`` disables the fast path entirely;
+``REPRO_FASTPATH_STRIDE`` overrides the checkpoint stride (steps per
+segment); ``REPRO_FASTPATH_MEMORY_MB`` bounds the in-process record store.
 """
 
 from __future__ import annotations
@@ -66,9 +80,12 @@ __all__ = [
     "FastpathStats",
     "NoJumpRecord",
     "RecordStore",
+    "TrajectoryPrescan",
     "checkpoint_stride",
     "fastpath_enabled",
     "get_record_store",
+    "min_publish_trajectories",
+    "prescan_trajectories",
     "reset_fastpath",
     "run_fastpath_fidelities",
     "stats",
@@ -82,6 +99,16 @@ STRIDE_ENV = "REPRO_FASTPATH_STRIDE"
 
 #: In-process record-store budget in megabytes (default 512).
 MEMORY_ENV = "REPRO_FASTPATH_MEMORY_MB"
+
+#: Minimum trajectory count of a run before its records are published to
+#: the disk layer (default 8, see :func:`min_publish_trajectories`).
+MIN_TRAJ_ENV = "REPRO_FASTPATH_MIN_TRAJ"
+
+#: Default publication threshold: the PR 5 benchmark data puts the cold
+#: one-shot publishing tax at ~1.1x while warm replay pays back from the
+#: first reused record, so a handful of trajectories is where a rerun's
+#: disk hits start beating the one-time write.
+_DEFAULT_MIN_PUBLISH = 8
 
 #: Bundles larger than this never go to the disk layer: a giant artifact
 #: would trade more I/O than the compute it saves.
@@ -127,6 +154,25 @@ def checkpoint_stride(num_steps: int) -> int:
     return max(8, math.ceil(num_steps / _DEFAULT_SEGMENTS)) if num_steps else 1
 
 
+def min_publish_trajectories() -> int:
+    """Trajectory count below which a run skips record *disk* publication.
+
+    Publishing a record bundle is the one fast-path cost a cold one-shot run
+    can never recover (the memory front is kept either way, so in-process
+    reuse is unaffected).  ``REPRO_FASTPATH_MIN_TRAJ`` overrides the
+    default; ``0``/``1`` publishes always, matching the pre-threshold
+    behavior.  Applied per :func:`run_fastpath_fidelities`/
+    :func:`prescan_trajectories` call — each worker process decides from its
+    own chunk size.
+    """
+    value = env.read_int(MIN_TRAJ_ENV)
+    if value is None:
+        return _DEFAULT_MIN_PUBLISH
+    if value < 0:
+        raise ValueError(f"{MIN_TRAJ_ENV} must be non-negative, got {value!r}")
+    return value
+
+
 # ---------------------------------------------------------------------------
 # stats
 # ---------------------------------------------------------------------------
@@ -148,6 +194,8 @@ class FastpathStats:
     checkpoint_restores: int = 0
     suffix_steps: int = 0  # steps replayed explicitly after deviations
     prefix_steps_reused: int = 0  # steps served from records without evolution
+    prescanned: int = 0  # trajectories classified by prescan_trajectories
+    publishes_skipped: int = 0  # dirty blocks kept off disk by the min-traj gate
     deviation_segments: dict[int, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -164,6 +212,8 @@ class FastpathStats:
             "checkpoint_restores": self.checkpoint_restores,
             "suffix_steps": self.suffix_steps,
             "prefix_steps_reused": self.prefix_steps_reused,
+            "prescanned": self.prescanned,
+            "publishes_skipped": self.publishes_skipped,
             "deviation_segments": dict(sorted(self.deviation_segments.items())),
         }
 
@@ -455,7 +505,11 @@ class RecordStore:
         return found
 
     def put_many(
-        self, keys: Sequence[str], records: Sequence[NoJumpRecord], bundle_key: str
+        self,
+        keys: Sequence[str],
+        records: Sequence[NoJumpRecord],
+        bundle_key: str,
+        persist: bool = True,
     ) -> None:
         """Store a block's records in memory and publish the disk bundle.
 
@@ -464,12 +518,20 @@ class RecordStore:
         evenly spaced subset — the restore logic accepts any subset), so
         large registers persist the clean-trajectory payload (populations,
         final, ideal final) without multi-megabyte checkpoint freight.
+
+        ``persist=False`` keeps the records off the disk layer entirely (the
+        min-trajectory publication gate: a one-shot run below
+        :func:`min_publish_trajectories` has nothing to amortize the write
+        against) while the memory front behaves identically either way.
         """
         bundle: dict[str, NoJumpRecord] = {}
         for key, record in zip(keys, records):
             if key not in bundle:
                 self._memory_put(key, record)
                 bundle[key] = _thin_for_disk(record)
+        if not persist:
+            STATS.publishes_skipped += 1
+            return
         total = sum(record.nbytes() for record in bundle.values())
         if total <= _MAX_PERSIST_BYTES:
             from repro.core.compile_cache import get_cache
@@ -577,9 +639,12 @@ def run_fastpath_fidelities(
     chunk = block_size if block_size is not None else 1
     if chunk < 1:
         raise ValueError("block_size must be at least 1")
+    persist = len(streams) >= min_publish_trajectories()
     fidelities: list[float] = []
     for start in range(0, len(streams), chunk):
-        fidelities.extend(_run_block(engine, streams[start : start + chunk], sampler))
+        fidelities.extend(
+            _run_block(engine, streams[start : start + chunk], sampler, persist)
+        )
     return fidelities
 
 
@@ -587,6 +652,7 @@ def _run_block(
     engine,
     streams: Sequence[np.random.Generator],
     sampler: Callable[[np.random.Generator], np.ndarray],
+    persist: bool = True,
 ) -> list[float]:
     from repro.qudit.states import fidelity
 
@@ -730,7 +796,7 @@ def _run_block(
             finals[i] = np.array(block[j])
 
     if dirty:
-        store.put_many(keys, records, bundle_key)
+        store.put_many(keys, records, bundle_key, persist=persist)
 
     # Fresh copies for the overlap, matching the batched path (BLAS dot
     # products are sensitive to operand alignment; full fresh allocations
@@ -958,3 +1024,239 @@ def _scan_segment(
         else:
             survivors.append(i)
     return survivors, deviated
+
+
+# ---------------------------------------------------------------------------
+# batch prescan / classification (the adaptive sampling front end)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TrajectoryPrescan:
+    """Per-trajectory classification of one batch of streams, pre-simulation.
+
+    ``clean[i]`` is whether stream ``i``'s replayed draws never deviate from
+    the no-jump path; ``clean_probability[i]`` is the *exact* probability of
+    that outcome given the input state (the ordered product of the per-event
+    no-jump branch probabilities read off the record — the stratum weight the
+    adaptive estimator reweights with, no self-normalization involved);
+    ``clean_fidelity[i]`` is the fidelity the trajectory reports *if* it
+    stays clean, computed with the identical arithmetic as the fast path's
+    clean rows (so it is bit-equal to what any execution mode returns for a
+    clean stream).
+    """
+
+    clean: np.ndarray  # (n,) bool
+    clean_probability: np.ndarray  # (n,) float64
+    clean_fidelity: np.ndarray  # (n,) float64
+
+    def __len__(self) -> int:
+        return len(self.clean)
+
+
+def prescan_trajectories(
+    physical,
+    noise_model,
+    program: TrajectoryProgram,
+    backend,
+    streams: Sequence[np.random.Generator],
+    sampler: Callable[[np.random.Generator], np.ndarray],
+    block_size: int | None = None,
+) -> TrajectoryPrescan:
+    """Classify a batch of streams against their no-jump records.
+
+    The live streams are never consumed: the input state and every replayed
+    draw come from cloned probes, so a caller can afterwards hand the
+    untouched streams to any execution path and get the standard result for
+    exactly these trajectories.  Unlike :func:`run_fastpath_fidelities` the
+    prescan materializes the *complete* record of every input state (a
+    deviating trajectory still needs its clean fidelity and exact clean
+    probability), and it runs regardless of ``REPRO_NO_FASTPATH`` — it is an
+    estimator input of the opt-in adaptive mode, not an execution mode, so
+    the escape hatch toggles only how trajectories are simulated.
+
+    ``block_size=None`` processes all streams as one batch.  Records land in
+    the shared store (memory always; disk per the min-trajectory publication
+    gate over the full stream count), so a simulation of the deviating subset
+    immediately reuses them.
+    """
+    from repro.noise.batched import BatchedTrajectoryEngine
+
+    engine = BatchedTrajectoryEngine(
+        physical, noise_model, program=program, backend=backend
+    )
+    chunk = block_size if block_size is not None else max(len(streams), 1)
+    if chunk < 1:
+        raise ValueError("block_size must be at least 1")
+    persist = len(streams) >= min_publish_trajectories()
+    parts = [
+        _prescan_block(engine, streams[start : start + chunk], sampler, persist)
+        for start in range(0, len(streams), chunk)
+    ]
+    if not parts:
+        empty = np.empty(0)
+        return TrajectoryPrescan(
+            clean=np.empty(0, dtype=bool), clean_probability=empty, clean_fidelity=empty
+        )
+    return TrajectoryPrescan(
+        clean=np.concatenate([part[0] for part in parts]),
+        clean_probability=np.concatenate([part[1] for part in parts]),
+        clean_fidelity=np.concatenate([part[2] for part in parts]),
+    )
+
+
+def _prescan_block(
+    engine,
+    streams: Sequence[np.random.Generator],
+    sampler: Callable[[np.random.Generator], np.ndarray],
+    persist: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One block of :func:`prescan_trajectories` (mirrors ``_run_block``).
+
+    The build/scan split differs from ``_run_block`` in one way: records are
+    built through the *whole* program for every row (the scan's active set
+    shrinks as rows deviate, the build set never does), because the adaptive
+    estimator needs the clean fidelity and clean probability of deviating
+    rows too.  The replay itself is the identical blessed ``_scan_segment``.
+    """
+    from repro.qudit.states import fidelity
+
+    program: TrajectoryProgram = engine.program
+    backend = engine.backend
+    num_steps = len(program.steps)
+    count = len(streams)
+    STATS.prescanned += count
+
+    probes = [_clone_generator(stream) for stream in streams]
+    initials = np.array([sampler(probe) for probe in probes], dtype=np.complex128)
+    schedule = draw_schedule(program)
+    stride = checkpoint_stride(num_steps)
+    store = get_record_store()
+    backend_name = getattr(backend, "name", "numpy")
+    keys = [_record_key(program, backend_name, stride, initials[i]) for i in range(count)]
+    bundle_key = _bundle_key(keys)
+    fetched = store.get_many(keys, bundle_key, schedule, stride)
+    records: list[NoJumpRecord] = []
+    dirty: set[int] = set()
+    created: set[int] = set()
+    extended: set[int] = set()
+    for i in range(count):
+        record = fetched.get(keys[i])
+        if record is None:
+            record = NoJumpRecord(stride=stride)
+            created.add(id(record))
+            STATS.records_built += 1
+            dirty.add(i)
+            fetched[keys[i]] = record
+        records.append(record)
+
+    need_ideal: list[int] = []
+    pending_ideal: set[int] = set()
+    for i in range(count):
+        record = records[i]
+        if record.ideal_final is None and id(record) not in pending_ideal:
+            pending_ideal.add(id(record))
+            need_ideal.append(i)
+    if need_ideal:
+        ideal_block = engine.run_ideal(initials[need_ideal])
+        for j, i in enumerate(need_ideal):
+            records[i].ideal_final = np.array(ideal_block[j])
+            dirty.add(i)
+
+    boundaries = list(range(0, num_steps, stride)) + [num_steps] if num_steps else [0]
+    rows = list(range(count))
+    scan_active = list(rows)
+    drawn_at = np.zeros((count, len(boundaries)), dtype=np.int64)
+    clean = np.ones(count, dtype=bool)
+    cursor: dict[int, np.ndarray] = {}
+    buffers: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+    for segment_index, (seg_start, seg_end) in enumerate(
+        zip(boundaries[:-1], boundaries[1:])
+    ):
+        built = _build_segment(
+            engine,
+            records,
+            initials,
+            cursor,
+            rows,
+            dirty,
+            created,
+            extended,
+            buffers,
+            seg_start,
+            seg_end,
+            schedule,
+        )
+        if scan_active:
+            survivors, deviated = _scan_segment(
+                schedule,
+                records,
+                probes,
+                scan_active,
+                drawn_at,
+                segment_index,
+                seg_start,
+                seg_end,
+                built,
+            )
+            for row, _kind in deviated:
+                clean[row] = False
+            scan_active = survivors
+    _finalize_records(records, buffers)
+    if dirty:
+        store.put_many(keys, records, bundle_key, persist=persist)
+
+    probability = np.empty(count)
+    clean_fid = np.empty(count)
+    shared: dict[int, tuple[float, float]] = {}
+    for i in range(count):
+        record = records[i]
+        pair = shared.get(id(record))
+        if pair is None:
+            final = record.final if num_steps else initials[i]
+            pair = (
+                _clean_probability(schedule, record),
+                fidelity(np.array(record.ideal_final), np.array(final)),
+            )
+            shared[id(record)] = pair
+        probability[i], clean_fid[i] = pair
+    return clean, probability, clean_fid
+
+
+def _clean_probability(schedule: DrawSchedule, record: NoJumpRecord) -> float:
+    """Exact P(no deviation) of a trajectory from this record's input state.
+
+    The ordered product, over the program's stochastic events, of each
+    event's no-jump branch probability: ``(1 - error_rate)`` per gate event
+    and ``p0 / total`` per idle event (``p0``/``total`` recomputed from the
+    recorded populations with the same accumulation order as the replay —
+    an idle whose outcome total is non-positive consumes no draw and cannot
+    deviate, contributing factor 1).  This is the stratum weight of the
+    clean outcome: a pure function of the record, independent of any stream.
+    """
+    total_idles = len(schedule.idle_steps)
+    idle_factor: np.ndarray | None = None
+    if total_idles:
+        populations = record.populations  # (I, pad_dim), zero-padded
+        lambdas = schedule.idle_lambdas  # (I, pad_dim - 1), zero-padded
+        decay_probs = []
+        decay_sum = np.zeros(total_idles)
+        for level in range(1, schedule.pad_dim):
+            decay = lambdas[:, level - 1] * populations[:, level]
+            decay_probs.append(decay)
+            decay_sum = decay_sum + decay
+        no_decay = 1.0 - decay_sum
+        p0 = np.maximum(no_decay, 0.0)
+        total = p0.copy()
+        for decay in decay_probs:
+            total = total + decay
+        consumed = ~(total <= 0.0)
+        idle_factor = np.where(consumed, p0 / np.where(consumed, total, 1.0), 1.0)
+    probability = 1.0
+    for event in range(len(schedule.event_idle)):
+        ordinal = int(schedule.event_idle[event])
+        if ordinal >= 0:
+            probability *= float(idle_factor[ordinal])
+        else:
+            probability *= 1.0 - float(schedule.event_rate[event])
+    return probability

@@ -136,6 +136,7 @@ def run_parallel_fidelities(
     fuse: bool = True,
     host_memory: bool = True,
     fastpath: bool | None = None,
+    min_chunk: int = 1,
 ) -> list[float]:
     """Per-trajectory fidelities of ``streams``, fanned across processes.
 
@@ -145,10 +146,19 @@ def run_parallel_fidelities(
     ``host_memory=False`` for accelerator backends so workers spawn instead
     of forking an initialized device context.  Results come back in stream
     order regardless of which worker finished first.
+
+    ``min_chunk`` caps the fan-out so each worker gets at least that many
+    streams (small batches — e.g. the adaptive mode's deviating subsets —
+    are not worth one-trajectory chunks).  It only trims the worker count;
+    chunking stays contiguous, so results are byte-identical either way.
     """
+    if min_chunk < 1:
+        raise ValueError("min_chunk must be at least 1")
     streams = list(streams)
     backend_spec = (backend, {}) if isinstance(backend, str) else backend
     workers = min(resolve_workers(workers), len(streams))
+    if min_chunk > 1:
+        workers = min(workers, max(1, len(streams) // min_chunk))
     if workers <= 1:
         context = _make_context(
             physical, noise_model, sampler, batch_size, backend_spec, fuse, fastpath

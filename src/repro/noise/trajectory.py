@@ -178,10 +178,11 @@ class TrajectorySimulator:
     def average_fidelity(
         self,
         physical: PhysicalCircuit,
-        num_trajectories: int = 100,
+        num_trajectories: int | str = 100,
         initial_state_sampler: Callable[[np.random.Generator], np.ndarray] | None = None,
         batch_size: int | None = None,
         workers: int | str | None = None,
+        target_stderr: float | None = None,
     ) -> TrajectoryResult:
         """Average trajectory fidelity over random input states.
 
@@ -204,7 +205,47 @@ class TrajectorySimulator:
         ``workers=1`` path for every worker count — only wall-clock changes.
         Custom ``initial_state_sampler`` callables must be picklable when
         the platform lacks ``fork`` (the default sampler always works).
+
+        ``target_stderr`` opts into the adaptive sampling mode
+        (:mod:`repro.noise.adaptive`): trajectories run in deterministic
+        rounds until the estimator's standard error reaches the target, and
+        an integer ``num_trajectories`` becomes the hard cap
+        (``num_trajectories="auto"`` uses ``REPRO_ADAPTIVE_MAX_TRAJ``).  The
+        returned :class:`~repro.noise.adaptive.AdaptiveResult` is
+        reproducible like the fixed-count path — same seed and config give
+        identical numbers for any worker count or fastpath setting — but is
+        a *statistical estimator*, not the plain trajectory mean.
         """
+        if target_stderr is not None or num_trajectories == "auto":
+            if target_stderr is None:
+                raise ValueError('num_trajectories="auto" requires target_stderr')
+            if batch_size is not None and batch_size < 1:
+                raise ValueError("batch_size must be at least 1")
+            from repro.noise.adaptive import adaptive_average_fidelity
+
+            if num_trajectories == "auto":
+                cap = None
+            else:
+                if not isinstance(num_trajectories, int):
+                    raise ValueError(
+                        f'num_trajectories must be an int or "auto", got {num_trajectories!r}'
+                    )
+                if num_trajectories < 1:
+                    raise ValueError("need at least one trajectory")
+                cap = num_trajectories
+            return adaptive_average_fidelity(
+                self,
+                physical,
+                target_stderr=target_stderr,
+                max_trajectories=cap,
+                initial_state_sampler=initial_state_sampler,
+                batch_size=batch_size,
+                workers=workers,
+            )
+        if not isinstance(num_trajectories, int):
+            raise ValueError(
+                f'num_trajectories must be an int or "auto", got {num_trajectories!r}'
+            )
         if num_trajectories < 1:
             raise ValueError("need at least one trajectory")
         if batch_size is not None and batch_size < 1:

@@ -1,0 +1,12 @@
+"""Fixture: module-level imports of the opt-in adaptive estimators."""
+
+import repro.noise.adaptive  # noqa: F401  (STAT001)
+from repro.noise import stats  # noqa: F401  (STAT001)
+from repro.noise.stats import RunningStats  # noqa: F401  (STAT001)
+
+
+def sanctioned_lazy_use() -> object:
+    # Function-scoped imports are the sanctioned opt-in form: fine.
+    from repro.noise.adaptive import adaptive_average_fidelity
+
+    return adaptive_average_fidelity

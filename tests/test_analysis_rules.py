@@ -33,6 +33,7 @@ def run_source(tmp_path: Path, source: str, name: str = "snippet.py") -> list:
         ("bad_compile_log.py", {"ENG003": 1}),
         ("bad_env.py", {"ENV001": 3}),
         ("bad_lease.py", {"ENG004": 2}),
+        ("bad_adaptive.py", {"STAT001": 3}),
         ("bad_suppression.py", {"DET002": 1, "SUP001": 1, "SUP002": 1}),
     ],
 )
@@ -51,7 +52,7 @@ def test_good_fixture_is_clean() -> None:
 def test_fixture_directory_is_nonzero_overall() -> None:
     report = analyze_paths([FIXTURES], DEFAULT_RULES)
     assert not report.ok
-    assert report.files_scanned >= 9
+    assert report.files_scanned >= 10
 
 
 def test_every_finding_names_its_invariant() -> None:

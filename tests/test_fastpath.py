@@ -384,6 +384,8 @@ class TestFastpathEquality:
 class TestRecordCache:
     def test_disk_round_trip_hits_and_matches(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        # 6 trajectories sit below the default publication threshold.
+        monkeypatch.setenv("REPRO_FASTPATH_MIN_TRAJ", "1")
         reset_cache()
         physical = _physical()
         first = TrajectorySimulator(JUMPY, rng=6, fastpath=True).average_fidelity(
@@ -557,6 +559,8 @@ class TestSweepIntegration:
 
     def test_killed_shard_resumes_with_fastpath_on(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        # 3 trajectories per point sit below the default publication threshold.
+        monkeypatch.setenv("REPRO_FASTPATH_MIN_TRAJ", "1")
         reset_cache()
         assert fastpath_enabled(None)
         points = fidelity_sweep_points(
@@ -599,3 +603,67 @@ class TestSweepIntegration:
         merged = merge_shards(directory)
         assert merged.csv_path.read_bytes() == unsharded_csv.read_bytes()
         reset_cache()
+
+
+class TestPublicationGate:
+    """REPRO_FASTPATH_MIN_TRAJ: small cold runs skip the disk write tax.
+
+    The gate must only skip the *disk* layer — the in-process memory front
+    keeps serving records (so intra-process reuse is untouched) and the
+    fidelities never change either way.
+    """
+
+    def test_small_runs_skip_disk_publication(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        reset_cache()
+        physical = _physical()
+        skipped_before = stats()["publishes_skipped"]
+        first = TrajectorySimulator(JUMPY, rng=6, fastpath=True).average_fidelity(
+            physical, num_trajectories=4, batch_size=2
+        )
+        assert stats()["publishes_skipped"] > skipped_before
+        # Nothing reached the disk layer: after dropping the memory front, a
+        # rerun recomputes (no disk hits) yet reproduces the same bits.
+        get_record_store().clear_memory()
+        disk_hits_before = stats()["record_disk_hits"]
+        second = TrajectorySimulator(JUMPY, rng=6, fastpath=True).average_fidelity(
+            physical, num_trajectories=4, batch_size=2
+        )
+        assert second.fidelities == first.fidelities
+        assert stats()["record_disk_hits"] == disk_hits_before
+        reset_cache()
+
+    def test_memory_front_still_serves_small_runs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        reset_cache()
+        physical = _physical()
+        TrajectorySimulator(NoiseModel(), rng=8, fastpath=True).average_fidelity(
+            physical, num_trajectories=4
+        )
+        before = stats()["record_memory_hits"]
+        TrajectorySimulator(NoiseModel(), rng=8, fastpath=True).average_fidelity(
+            physical, num_trajectories=4, batch_size=2
+        )
+        assert stats()["record_memory_hits"] - before >= 4
+        reset_cache()
+
+    def test_threshold_is_configurable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_FASTPATH_MIN_TRAJ", "4")
+        reset_cache()
+        physical = _physical()
+        TrajectorySimulator(JUMPY, rng=6, fastpath=True).average_fidelity(
+            physical, num_trajectories=4, batch_size=2
+        )
+        get_record_store().clear_memory()
+        disk_hits_before = stats()["record_disk_hits"]
+        TrajectorySimulator(JUMPY, rng=6, fastpath=True).average_fidelity(
+            physical, num_trajectories=4, batch_size=2
+        )
+        assert stats()["record_disk_hits"] > disk_hits_before
+        reset_cache()
+
+    def test_negative_threshold_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH_MIN_TRAJ", "-1")
+        with pytest.raises(ValueError, match="REPRO_FASTPATH_MIN_TRAJ"):
+            fastpath_mod.min_publish_trajectories()

@@ -1,0 +1,93 @@
+"""Property tests for the streaming accumulator behind adaptive stopping.
+
+The early-stopping decision rests entirely on ``RunningStats`` agreeing
+with the batch definitions of mean/variance/stderr, so those agreements
+are pinned here: Welford push against ``numpy`` on adversarial value sets
+(tight clusters near 1.0 — the fidelity regime), Chan merge associativity,
+and merge-equals-sequential to floating-point tolerance.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.noise.stats import RunningStats
+
+
+def _value_sets():
+    rng = np.random.default_rng(20260807)
+    return [
+        ("fidelity-band", 1.0 - 1e-4 * rng.random(257)),
+        ("tight-cluster", 0.987654321 + 1e-12 * rng.random(64)),
+        ("mixed-scale", np.concatenate([rng.random(31), 1e6 + rng.random(31)])),
+        ("negatives", rng.normal(-3.0, 0.5, size=101)),
+        ("two-values", np.array([0.25, 0.75])),
+    ]
+
+
+@pytest.mark.parametrize(("label", "values"), _value_sets(), ids=lambda v: v if isinstance(v, str) else "")
+def test_push_matches_numpy(label, values):
+    stats = RunningStats.from_values(values.tolist())
+    assert stats.count == len(values)
+    assert stats.mean == pytest.approx(float(np.mean(values)), rel=1e-12, abs=1e-12)
+    assert stats.variance == pytest.approx(float(np.var(values, ddof=1)), rel=1e-9, abs=1e-15)
+    expected_stderr = float(np.std(values, ddof=1) / math.sqrt(len(values)))
+    assert stats.std_error == pytest.approx(expected_stderr, rel=1e-9, abs=1e-15)
+
+
+@pytest.mark.parametrize(("label", "values"), _value_sets(), ids=lambda v: v if isinstance(v, str) else "")
+def test_merge_agrees_with_sequential(label, values):
+    values = values.tolist()
+    for split in (0, 1, len(values) // 2, len(values) - 1, len(values)):
+        left = RunningStats.from_values(values[:split])
+        right = RunningStats.from_values(values[split:])
+        merged = left.merge(right)
+        sequential = RunningStats.from_values(values)
+        assert merged.count == sequential.count
+        assert merged.mean == pytest.approx(sequential.mean, rel=1e-12, abs=1e-12)
+        assert merged.variance == pytest.approx(sequential.variance, rel=1e-9, abs=1e-15)
+
+
+def test_merge_is_associative_to_fp_tolerance():
+    rng = np.random.default_rng(11)
+    parts = [RunningStats.from_values(rng.random(n).tolist()) for n in (17, 1, 40, 9)]
+    left_fold = parts[0].merge(parts[1]).merge(parts[2]).merge(parts[3])
+    right_fold = parts[0].merge(parts[1].merge(parts[2].merge(parts[3])))
+    assert left_fold.count == right_fold.count
+    assert left_fold.mean == pytest.approx(right_fold.mean, rel=1e-12)
+    assert left_fold.m2 == pytest.approx(right_fold.m2, rel=1e-9)
+
+
+def test_merge_is_pure_and_handles_empty_sides():
+    filled = RunningStats.from_values([1.0, 2.0, 4.0])
+    empty = RunningStats()
+    snapshot = (filled.count, filled.mean, filled.m2)
+    for merged in (filled.merge(empty), empty.merge(filled)):
+        assert (merged.count, merged.mean, merged.m2) == snapshot
+        assert merged is not filled
+    assert (filled.count, filled.mean, filled.m2) == snapshot
+    assert empty.count == 0 and empty.mean == 0.0 and empty.m2 == 0.0
+    both_empty = empty.merge(RunningStats())
+    assert both_empty.count == 0
+
+
+def test_degenerate_counts_report_zero_spread():
+    assert RunningStats().variance == 0.0
+    assert RunningStats().std_error == 0.0
+    single = RunningStats.from_values([0.5])
+    assert single.count == 1
+    assert single.mean == 0.5
+    assert single.variance == 0.0
+    assert single.std_error == 0.0
+
+
+def test_catastrophic_cancellation_regime():
+    # The naive sum-of-squares formulation loses every significant digit
+    # here; Welford must not.
+    base = 1.0 - 1e-9
+    values = [base + k * 1e-15 for k in range(1000)]
+    stats = RunningStats.from_values(values)
+    expected = float(np.var(np.array(values, dtype=np.float64), ddof=1))
+    assert stats.variance == pytest.approx(expected, rel=1e-6)
+    assert stats.variance > 0.0

@@ -10,6 +10,8 @@ comments, CI output and the ROADMAP's standing-invariants table):
 * ``ENG002`` — trajectory compilation must go through the cache,
 * ``ENG003`` — nothing but the cache touches ``compile-log.txt``,
 * ``ENG004`` — lease files are written only by the coordinator,
+* ``ENG005`` — figure/table artifacts are written only through the
+  artifact layer (no direct ``write_csv``/``write_json`` in drivers),
 * ``ENV001`` — environment reads go through :mod:`repro.core.env`,
 * ``STAT001`` — the opt-in adaptive estimators are never imported at
   module level by default paths.
@@ -29,6 +31,7 @@ from repro.analysis.engine import Finding, ModuleContext, Rule
 __all__ = [
     "AdaptiveImportRule",
     "DEFAULT_RULES",
+    "DirectArtifactWriteRule",
     "DirectEnvReadRule",
     "PoolOutsideEngineRule",
     "SetIterationRule",
@@ -514,6 +517,51 @@ class AdaptiveImportRule(Rule):
                         )
 
 
+class DirectArtifactWriteRule(Rule):
+    """ENG005: figure/table artifacts are produced through graph providers."""
+
+    rule_id = "ENG005"
+    title = "direct artifact write in an experiment driver"
+    invariant = (
+        "artifact provenance: every figure/table file is rendered by the "
+        "artifact graph's providers (repro.artifacts), so its bytes are "
+        "tied to a content-addressed node and the at-most-once/dedupe "
+        "guarantees hold; a driver calling the sweep writers directly "
+        "produces untracked artifacts the graph cannot replay or audit"
+    )
+    scope = ("repro/experiments/",)
+    # The sweep engine owns the writers; the shard and scheduler merge
+    # paths reproduce unsharded artifacts byte-for-byte from landed rows
+    # (their own CI-gated invariant) and predate the graph layer.
+    exempt = (
+        "repro/experiments/sweep.py",
+        "repro/experiments/shard.py",
+        "repro/experiments/scheduler.py",
+    )
+
+    _WRITERS = frozenset(
+        {
+            "repro.experiments.sweep.write_csv",
+            "repro.experiments.sweep.write_json",
+        }
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, aliases)
+            if name in self._WRITERS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"calls {name.rsplit('.', 1)[1]} directly; render figure/"
+                    "table artifacts through repro.artifacts providers "
+                    "(FigureCSVArtifact / FigureJSONArtifact targets)",
+                )
+
+
 DEFAULT_RULES: tuple[Rule, ...] = (
     UnseededRngRule(),
     WallClockRule(),
@@ -522,6 +570,7 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     UncachedCompileRule(),
     UnmanagedCompileLogRule(),
     UnmanagedLeaseRule(),
+    DirectArtifactWriteRule(),
     DirectEnvReadRule(),
     AdaptiveImportRule(),
 )

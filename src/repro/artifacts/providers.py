@@ -1,0 +1,297 @@
+"""Providers binding the artifact nodes to the existing subsystems.
+
+Nothing here re-implements pipeline machinery: compilation goes through
+the sweep engine's cached ``_compiled`` path (so the compile cache's audit
+log stays the recompilation oracle), record building goes through the
+fastpath's ``prescan_trajectories`` (so bundles land in the shared record
+store under the existing publication gate), and table evaluation goes
+through ``SweepRunner.iter_evaluate`` — the single point-execution engine
+— or, when an ``executor`` is injected, through any fan-out that honours
+the scheduler's landed-row contract.  The graph only decides *what* to
+evaluate and *whether* it already happened.
+
+Heavy imports (numpy, the noise stack) stay inside build methods: nodes
+and graphs are cheap to construct in CLI front-ends and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.artifacts.graph import Graph, Provider
+from repro.artifacts.nodes import (
+    BenchJSONArtifact,
+    CompiledProgramArtifact,
+    FigureCSVArtifact,
+    FigureJSONArtifact,
+    NoJumpRecordArtifact,
+    RBSurvivalsArtifact,
+    SweepTableArtifact,
+)
+
+__all__ = [
+    "BenchJSONProvider",
+    "BuildFailure",
+    "CompiledProgramProvider",
+    "FigureCSVProvider",
+    "FigureJSONProvider",
+    "NoJumpRecordProvider",
+    "RBSurvivalsProvider",
+    "SweepTableProvider",
+    "build_graph",
+]
+
+
+@dataclass(frozen=True)
+class BuildFailure:
+    """A per-node build error, carried as a value instead of raised.
+
+    Upstream providers (compilation, record prescan) never abort a table:
+    the sweep engine's own per-point failure capture is the authority on
+    failed points — it attributes every failure to its durable point key
+    and raises ``SweepFailure`` with the complete set, exactly as a direct
+    ``runner.run`` would.  The sentinel keeps the graph walk alive so that
+    capture is reached.
+    """
+
+    token: str
+    error_type: str
+    message: str
+
+
+class CompiledProgramProvider(Provider):
+    """Compile one workload/strategy combination through the compile cache.
+
+    Delegating to the sweep engine's cached compile path keeps every
+    graph-driven compilation indistinguishable from a direct sweep's: same
+    cache key, same audit-log discipline, same LRU/disk layering.  A
+    failing compilation becomes a :class:`BuildFailure` value — the
+    downstream table evaluation re-encounters and attributes it per point.
+    """
+
+    artifact_type = CompiledProgramArtifact
+    name = "compiled-program"
+
+    def build(self, node: CompiledProgramArtifact, inputs: Sequence[Any]) -> Any:
+        from repro.experiments.sweep import _compiled
+
+        try:
+            return _compiled(
+                node.workload, node.size, node.workload_kwargs, node.strategy, node.error_factor
+            )
+        except Exception as error:  # deliberate: per-point errors stay attributable
+            return BuildFailure(
+                token=node.identity_token(),
+                error_type=type(error).__name__,
+                message=str(error),
+            )
+
+
+class NoJumpRecordProvider(Provider):
+    """Materialize the no-jump fastpath record bundle of one program.
+
+    The point's trajectory streams are reproduced exactly as a fixed-count
+    evaluation spawns them (one ``rng.spawn`` off the seed), then
+    prescanned: every record the evaluation will replay lands in the
+    shared store (memory always; disk past the publication gate over the
+    stream count), so the table build fetches instead of building.  The
+    artifact value is the per-bundle summary (stream count, clean count,
+    mean clean probability) — deterministic scalars, cheap to persist.
+    """
+
+    artifact_type = NoJumpRecordArtifact
+    name = "nojump-record"
+
+    def requires(self, node: NoJumpRecordArtifact) -> Sequence[Any]:
+        return (node.compiled(),)
+
+    def build(self, node: NoJumpRecordArtifact, inputs: Sequence[Any]) -> Any:
+        from repro.noise.fastpath import prescan_trajectories
+        from repro.noise.model import NoiseModel
+        from repro.noise.trajectory import TrajectorySimulator, _default_state_sampler
+        from repro.topology.device import CoherenceModel
+
+        compilation = inputs[0]
+        if isinstance(compilation, BuildFailure):
+            return compilation
+        physical = compilation.physical_circuit
+        simulator = TrajectorySimulator(
+            NoiseModel(coherence=CoherenceModel(excited_scale=node.coherence_scale)),
+            rng=node.seed,
+        )
+        program = simulator.program_for(physical)
+        streams = simulator.rng.spawn(node.num_trajectories)
+        prescan = prescan_trajectories(
+            physical,
+            simulator.noise_model,
+            program,
+            simulator.backend,
+            list(streams),
+            _default_state_sampler(physical),
+        )
+        return {
+            "streams": len(prescan),
+            "clean": int(prescan.clean.sum()),
+            "mean_clean_probability": float(prescan.clean_probability.mean()),
+        }
+
+
+class SweepTableProvider(Provider):
+    """Evaluate one ``SweepPoint`` grid into CSV/JSON-ready rows.
+
+    Depends on the deduped compiled programs of the grid (and, when the
+    fast path is on, the no-jump records of the simulating points), so
+    shared upstream work across tables resolves before any point runs.
+    Evaluation itself goes through ``runner.iter_evaluate`` — scheduling,
+    failure capture and the bit-for-bit guarantees are the sweep engine's,
+    unchanged — or through ``executor`` (a callable mapping points to
+    landed rows, e.g. a lease-scheduler drain).  Failures follow the
+    runner's contract: the failure artifact is written, ``SweepFailure``
+    raised.  The raw evaluations of the last build per node are kept on
+    ``self.evaluations`` so driver CLIs can return them unchanged.
+    """
+
+    artifact_type = SweepTableArtifact
+    name = "sweep-table"
+
+    def __init__(
+        self,
+        runner: Any = None,
+        executor: Callable[[Sequence[Any]], Sequence[dict]] | None = None,
+    ):
+        self.runner = runner
+        self.executor = executor
+        self.evaluations: dict[SweepTableArtifact, list[Any]] = {}
+
+    def requires(self, node: SweepTableArtifact) -> Sequence[Any]:
+        from repro.noise.fastpath import fastpath_enabled
+
+        upstream: dict[Any, None] = {}
+        for point in node.points:
+            upstream.setdefault(CompiledProgramArtifact.from_point(point))
+        if fastpath_enabled():
+            # Fixed-count simulating points pre-warm their record bundles;
+            # adaptive points prescan internally, compile-only points have
+            # no trajectories to record.
+            for point in node.points:
+                if (
+                    isinstance(point.num_trajectories, int)
+                    and point.num_trajectories > 0
+                    and point.target_stderr is None
+                ):
+                    upstream.setdefault(NoJumpRecordArtifact.from_point(point))
+        return tuple(upstream)
+
+    def build(self, node: SweepTableArtifact, inputs: Sequence[Any]) -> Any:
+        from repro.experiments.sweep import (
+            PointFailure,
+            SweepFailure,
+            SweepRunner,
+            sweep_rows,
+        )
+
+        points = list(node.points)
+        if self.executor is not None:
+            return list(self.executor(points))
+        runner = self.runner if self.runner is not None else SweepRunner(max_workers=1)
+        evaluations: list[Any] = [None] * len(points)
+        failures: list[PointFailure] = []
+        for index, outcome in runner.iter_evaluate(points):
+            if isinstance(outcome, PointFailure):
+                failures.append(outcome)
+            else:
+                evaluations[index] = outcome
+        if failures:
+            runner.write_failures(failures)
+            raise SweepFailure(failures)
+        self.evaluations[node] = evaluations
+        return sweep_rows(points, evaluations)
+
+
+class FigureCSVProvider(Provider):
+    """Render a sweep table to CSV through the sweep engine's writer."""
+
+    artifact_type = FigureCSVArtifact
+    name = "figure-csv"
+
+    def requires(self, node: FigureCSVArtifact) -> Sequence[Any]:
+        return (node.table,)
+
+    def build(self, node: FigureCSVArtifact, inputs: Sequence[Any]) -> Any:
+        from repro.experiments.sweep import write_csv
+
+        return str(write_csv(inputs[0], node.path))
+
+
+class FigureJSONProvider(Provider):
+    """Render a sweep table to JSON through the sweep engine's writer."""
+
+    artifact_type = FigureJSONArtifact
+    name = "figure-json"
+
+    def requires(self, node: FigureJSONArtifact) -> Sequence[Any]:
+        return (node.table,)
+
+    def build(self, node: FigureJSONArtifact, inputs: Sequence[Any]) -> Any:
+        from repro.experiments.sweep import write_json
+
+        return str(write_json(inputs[0], node.path))
+
+
+class RBSurvivalsProvider(Provider):
+    """Fan the interleaved-RB survival cells across the runner's pool."""
+
+    artifact_type = RBSurvivalsArtifact
+    name = "rb-survivals"
+
+    def __init__(self, runner: Any = None):
+        self.runner = runner
+
+    def build(self, node: RBSurvivalsArtifact, inputs: Sequence[Any]) -> Any:
+        from repro.experiments.rb import _rb_cell
+        from repro.experiments.sweep import SweepRunner
+
+        runner = self.runner if self.runner is not None else SweepRunner(max_workers=1)
+        return runner.map(_rb_cell, list(node.tasks))
+
+
+class BenchJSONProvider(Provider):
+    """Dump an upstream artifact's value as an atomic JSON file."""
+
+    artifact_type = BenchJSONArtifact
+    name = "bench-json"
+
+    def requires(self, node: BenchJSONArtifact) -> Sequence[Any]:
+        return (node.source,)
+
+    def build(self, node: BenchJSONArtifact, inputs: Sequence[Any]) -> Any:
+        from repro.experiments.sweep import atomic_write_json
+
+        return str(atomic_write_json(node.path, inputs[0]))
+
+
+def build_graph(
+    runner: Any = None,
+    executor: Callable[[Sequence[Any]], Sequence[dict]] | None = None,
+    cache: Any = None,
+) -> Graph:
+    """A graph wired with the full default provider set.
+
+    ``runner`` (a ``SweepRunner``) drives table evaluation and RB fan-out;
+    ``executor`` replaces the table path with an external drain (the lease
+    scheduler); ``cache`` overrides the process compile cache for
+    persistence (tests).
+    """
+    return Graph(
+        providers=(
+            CompiledProgramProvider(),
+            NoJumpRecordProvider(),
+            SweepTableProvider(runner=runner, executor=executor),
+            FigureCSVProvider(),
+            FigureJSONProvider(),
+            RBSurvivalsProvider(runner=runner),
+            BenchJSONProvider(),
+        ),
+        cache=cache,
+    )

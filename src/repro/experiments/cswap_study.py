@@ -56,8 +56,10 @@ def run_cswap_study(
     points = cswap_study_points(
         sizes=sizes, strategies=strategies, num_trajectories=num_trajectories, rng=rng
     )
+    from repro.artifacts.figures import compute_table
+
     runner = runner or SweepRunner(max_workers=1)
-    return runner.run(points)
+    return compute_table(points, runner, name="fig9a")
 
 
 def main(argv=None) -> int:

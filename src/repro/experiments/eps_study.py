@@ -28,5 +28,7 @@ def run_eps_study(
         for size in sizes
         for strategy in strategies
     ]
+    from repro.artifacts.figures import compute_table
+
     runner = runner or SweepRunner(max_workers=1)
-    return runner.run(points)
+    return compute_table(points, runner, name="fig8")

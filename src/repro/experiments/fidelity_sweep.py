@@ -79,8 +79,10 @@ def run_fidelity_sweep(
         rng=rng,
         batch_size=batch_size,
     )
+    from repro.artifacts.figures import compute_table
+
     runner = runner or SweepRunner(max_workers=1)
-    return runner.run(points)
+    return compute_table(points, runner, name="fig7")
 
 
 def summarize_improvements(

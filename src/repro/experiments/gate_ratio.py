@@ -49,6 +49,8 @@ def run_gate_ratio_study(
         )
         for seed, (fraction, strategy) in zip(seeds, grid)
     ]
+    from repro.artifacts.figures import compute_table
+
     runner = runner or SweepRunner(max_workers=1)
-    evaluations = runner.run(points)
+    evaluations = compute_table(points, runner, name="fig9d")
     return [(point.axis, evaluation) for point, evaluation in zip(points, evaluations)]

@@ -196,8 +196,10 @@ def run_interleaved_rb(
             tasks.append(
                 (depth, samples_per_depth, clifford_error, interleave, interleaved_error, seed)
             )
+    from repro.artifacts.figures import compute_rb_survivals
+
     runner = runner or SweepRunner(max_workers=1)
-    survivals = runner.map(_rb_cell, tasks)
+    survivals = compute_rb_survivals(tasks, runner)
 
     rb_curve: list[float] = survivals[0::2]
     irb_curve: list[float] = survivals[1::2]

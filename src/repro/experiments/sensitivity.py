@@ -49,8 +49,10 @@ def run_gate_error_sensitivity(
         )
         for seed, (factor, strategy) in zip(seeds, grid)
     ]
+    from repro.artifacts.figures import compute_table
+
     runner = runner or SweepRunner(max_workers=1)
-    evaluations = runner.run(points)
+    evaluations = compute_table(points, runner, name="fig9b")
     return [(point.axis, evaluation) for point, evaluation in zip(points, evaluations)]
 
 
@@ -83,6 +85,8 @@ def run_coherence_sensitivity(
         )
         for seed, (scale, strategy) in zip(seeds, grid)
     ]
+    from repro.artifacts.figures import compute_table
+
     runner = runner or SweepRunner(max_workers=1)
-    evaluations = runner.run(points)
+    evaluations = compute_table(points, runner, name="fig9c")
     return [(point.axis, evaluation) for point, evaluation in zip(points, evaluations)]

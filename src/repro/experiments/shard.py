@@ -682,10 +682,12 @@ def _run_sharded_driver(points: Sequence[SweepPoint], args: argparse.Namespace) 
         print("error: --shards must be at least 1")
         return 2
     if args.shards == 1 and args.shard_id is None and not args.merge:
+        from repro.artifacts.figures import compute_table
+
         runner = SweepRunner(
             max_workers=args.max_workers, csv_path=args.csv, json_path=args.json_out
         )
-        evaluations = runner.run(points)
+        evaluations = compute_table(points, runner, name="cli")
         print(f"evaluated {len(evaluations)} points (unsharded)")
         return 0
 

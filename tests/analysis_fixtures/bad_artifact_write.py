@@ -1,0 +1,11 @@
+"""ENG005 fixture: a driver rendering artifacts around the graph (2 findings)."""
+
+from pathlib import Path
+
+from repro.experiments import sweep
+from repro.experiments.sweep import write_csv
+
+
+def dump_rows(rows: list, directory: Path) -> None:
+    write_csv(rows, directory / "figure.csv")
+    sweep.write_json(rows, directory / "figure.json")

@@ -1,4 +1,13 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The shared ``$REPRO_CACHE_DIR`` fixture and the autouse fastpath-isolation
+fixture live here and resolve by name as usual; the plain helper
+*functions* several suites used to copy (the compile-log audit reader,
+the Fig. 7 mini-grid builder, the 4-qubit mixed-gate compile helper)
+live in :mod:`helpers` (``from helpers import mini_points``) so a
+full-tree run collecting benchmarks/ alongside tests/ cannot shadow
+them through the ambiguous bare ``conftest`` module name.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +15,32 @@ import numpy as np
 import pytest
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.core.compile_cache import reset_cache
+from repro.noise.fastpath import reset_fastpath
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for tests."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def shared_cache(tmp_path, monkeypatch):
+    """A fresh shared REPRO_CACHE_DIR, as workers on a common mount would see."""
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    reset_cache()
+    yield cache_dir
+    reset_cache()
+
+
+@pytest.fixture(autouse=True)
+def fresh_fastpath():
+    """Isolate the fastpath record store and counters per test."""
+    reset_fastpath()
+    yield
+    reset_fastpath()
 
 
 @pytest.fixture

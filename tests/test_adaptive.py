@@ -14,7 +14,6 @@ keep their exact keys and the estimators are only imported lazily
 import numpy as np
 import pytest
 
-from repro.circuits.circuit import QuantumCircuit
 from repro.core.compiler import compile_circuit
 from repro.core.strategies import Strategy
 from repro.experiments.shard import point_from_json, point_to_json
@@ -25,30 +24,14 @@ from repro.noise.adaptive import (
     default_max_trajectories,
     stratified_contributions,
 )
-from repro.noise.fastpath import prescan_trajectories, reset_fastpath, stats
+from repro.noise.fastpath import prescan_trajectories, stats
 from repro.noise.model import NoiseModel
 from repro.noise.trajectory import TrajectorySimulator, _default_state_sampler
 from repro.topology.device import CoherenceModel
+from helpers import mixed_physical
 
 
-def _physical():
-    circuit = QuantumCircuit(4, name="adaptive-mixed")
-    circuit.h(0)
-    circuit.cx(0, 1)
-    circuit.ccx(0, 1, 2)
-    circuit.cswap(2, 0, 3)
-    circuit.cx(2, 3)
-    return compile_circuit(circuit, Strategy.MIXED_RADIX_CCZ).physical_circuit
-
-
-PHYSICAL = _physical()
-
-
-@pytest.fixture(autouse=True)
-def fresh_fastpath():
-    reset_fastpath()
-    yield
-    reset_fastpath()
+PHYSICAL = mixed_physical("adaptive-mixed")
 
 
 def _run(seed=7, target=5e-3, workers=None, cap="auto", batch_size=8) -> AdaptiveResult:

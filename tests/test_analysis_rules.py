@@ -33,6 +33,7 @@ def run_source(tmp_path: Path, source: str, name: str = "snippet.py") -> list:
         ("bad_compile_log.py", {"ENG003": 1}),
         ("bad_env.py", {"ENV001": 3}),
         ("bad_lease.py", {"ENG004": 2}),
+        ("bad_artifact_write.py", {"ENG005": 2}),
         ("bad_adaptive.py", {"STAT001": 3}),
         ("bad_suppression.py", {"DET002": 1, "SUP001": 1, "SUP002": 1}),
     ],
@@ -149,6 +150,34 @@ def test_lease_rule_exempts_the_coordinator_module(tmp_path: Path) -> None:
     assert run_on(experiments / "scheduler.py") == []
     (experiments / "rogue.py").write_text(source, encoding="utf-8")
     assert [f.rule_id for f in run_on(experiments / "rogue.py")] == ["ENG004"]
+
+
+def test_artifact_write_rule_exempts_the_sweep_engine(tmp_path: Path) -> None:
+    source = (
+        "from repro.experiments.sweep import write_csv\n\n\n"
+        "def render(rows: list, path: object) -> None:\n"
+        "    write_csv(rows, path)\n"
+    )
+    experiments = tmp_path / "repro" / "experiments"
+    experiments.mkdir(parents=True)
+    (experiments / "sweep.py").write_text(source, encoding="utf-8")
+    assert run_on(experiments / "sweep.py") == []
+    (experiments / "rogue.py").write_text(source, encoding="utf-8")
+    assert [f.rule_id for f in run_on(experiments / "rogue.py")] == ["ENG005"]
+
+
+def test_artifact_write_rule_scopes_to_experiment_drivers(tmp_path: Path) -> None:
+    # The artifact providers themselves live outside repro/experiments/ and
+    # are the sanctioned writer call sites.
+    source = (
+        "from repro.experiments.sweep import write_json\n\n\n"
+        "def render(rows: list, path: object) -> None:\n"
+        "    write_json(rows, path)\n"
+    )
+    artifacts = tmp_path / "repro" / "artifacts"
+    artifacts.mkdir(parents=True)
+    (artifacts / "providers.py").write_text(source, encoding="utf-8")
+    assert run_on(artifacts / "providers.py") == []
 
 
 def test_env_rule_exempts_registry_module(tmp_path: Path) -> None:

@@ -53,6 +53,7 @@ from repro.noise.trajectory import TrajectorySimulator
 from repro.qudit.random import haar_random_state
 from repro.topology.device import CoherenceModel
 from random_circuits import random_logical_circuit
+from helpers import mixed_physical
 
 #: A decohering model whose idle windows jump constantly: trajectories
 #: deviate early and often, exercising checkpoint restores and suffix
@@ -61,21 +62,7 @@ JUMPY = NoiseModel(coherence=CoherenceModel(base_t1_ns=300.0))
 
 
 def _physical(workload="mixed", strategy=Strategy.MIXED_RADIX_CCZ):
-    circuit = QuantumCircuit(4, name=f"fastpath-{workload}")
-    circuit.h(0)
-    circuit.cx(0, 1)
-    circuit.ccx(0, 1, 2)
-    circuit.cswap(2, 0, 3)
-    circuit.cx(2, 3)
-    return compile_circuit(circuit, strategy).physical_circuit
-
-
-@pytest.fixture(autouse=True)
-def fresh_fastpath():
-    """Isolate the record store and counters per test."""
-    reset_fastpath()
-    yield
-    reset_fastpath()
+    return mixed_physical(f"fastpath-{workload}", strategy=strategy)
 
 
 # ---------------------------------------------------------------------------

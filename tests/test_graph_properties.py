@@ -1,0 +1,256 @@
+"""Property tests of the artifact graph planner/evaluator on synthetic DAGs.
+
+The figure-level guarantees (byte identity, shared-compilation dedupe)
+live in tests/test_artifact_graph.py; this suite pins the *planner's*
+contract in isolation on randomly generated seeded DAGs, in the spirit of
+tests/random_circuits.py: deterministic topological order, at-most-once
+provider evaluation under arbitrarily shared subtrees, cycle and
+missing-provider detection, and replay equivalence through a persistent
+cache.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    Graph,
+    GraphCycleError,
+    GraphError,
+    MissingProviderError,
+    Provider,
+)
+from repro.core.compile_cache import CompileCache
+
+
+@dataclass(frozen=True)
+class SynthNode:
+    """A synthetic artifact: its dependencies live in the provider's edge map."""
+
+    index: int
+
+    def identity_token(self) -> str:
+        return f"synth:{self.index}"
+
+
+@dataclass(frozen=True)
+class LabelledNode:
+    """A node whose ``label`` is display-only: excluded from the token."""
+
+    index: int
+    label: str = ""
+
+    def identity_token(self) -> str:
+        return f"labelled:{self.index}"
+
+
+class SynthProvider(Provider):
+    """Builds synthetic artifacts from an explicit adjacency map."""
+
+    artifact_type = SynthNode
+    name = "synth"
+
+    def __init__(self, edges, persist=False, version=1):
+        self.edges = dict(edges)
+        self.persist = persist
+        self.version = version
+        self.build_log = []
+
+    def requires(self, node):
+        return tuple(SynthNode(child) for child in self.edges.get(node.index, ()))
+
+    def build(self, node, inputs):
+        self.build_log.append(node.index)
+        return (node.index, tuple(inputs))
+
+
+class LabelledProvider(Provider):
+    artifact_type = LabelledNode
+    name = "labelled"
+
+    def __init__(self):
+        self.build_log = []
+
+    def build(self, node, inputs):
+        self.build_log.append(node)
+        return f"value:{node.index}"
+
+
+def random_edges(seed, num_nodes=12, fan=3):
+    """A random DAG over ``num_nodes`` nodes: edges point to lower indices."""
+    rng = np.random.default_rng(seed)
+    edges = {}
+    for index in range(1, num_nodes):
+        count = int(rng.integers(0, min(fan, index) + 1))
+        if count:
+            children = rng.choice(index, size=count, replace=False)
+            edges[index] = tuple(int(child) for child in sorted(children))
+    return edges
+
+
+def assert_topological(plan):
+    position = {node: i for i, node in enumerate(plan.order)}
+    for node in plan.order:
+        for child in plan.dependencies[node]:
+            canonical = next(
+                other for other in plan.order if plan.keys[other] == plan.keys[child]
+            )
+            assert position[canonical] < position[node], (
+                f"dependency {child} ordered after its dependent {node}"
+            )
+
+
+class TestPlanning:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_order_is_topological_and_deterministic(self, seed):
+        edges = random_edges(seed)
+        targets = [SynthNode(i) for i in (11, 7, 11, 3)]
+        first = Graph([SynthProvider(edges)]).plan(targets)
+        second = Graph([SynthProvider(edges)]).plan(targets)
+        assert_topological(first)
+        assert [n.index for n in first.order] == [n.index for n in second.order]
+        assert first.keys == second.keys
+
+    def test_plan_covers_exactly_the_reachable_subgraph(self):
+        edges = {3: (1, 2), 2: (0,), 1: (0,), 9: (8,)}
+        plan = Graph([SynthProvider(edges)]).plan([SynthNode(3)])
+        assert sorted(node.index for node in plan.order) == [0, 1, 2, 3]
+
+    def test_duplicate_targets_collapse(self):
+        plan = Graph([SynthProvider({})]).plan([SynthNode(0), SynthNode(0)])
+        assert len(plan.order) == 1
+        assert plan.targets == (SynthNode(0), SynthNode(0))
+
+    def test_cycle_is_detected_and_named(self):
+        edges = {0: (1,), 1: (2,), 2: (0,)}
+        with pytest.raises(GraphCycleError) as excinfo:
+            Graph([SynthProvider(edges)]).plan([SynthNode(0)])
+        cycle = [node.index for node in excinfo.value.cycle]
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {0, 1, 2}
+
+    def test_self_cycle_is_detected(self):
+        with pytest.raises(GraphCycleError):
+            Graph([SynthProvider({0: (0,)})]).plan([SynthNode(0)])
+
+    def test_missing_provider_is_reported_with_the_type(self):
+        with pytest.raises(MissingProviderError) as excinfo:
+            Graph([]).plan([SynthNode(0)])
+        assert excinfo.value.artifact_type is SynthNode
+
+    def test_duplicate_provider_registration_fails(self):
+        with pytest.raises(GraphError, match="duplicate provider"):
+            Graph([SynthProvider({}), SynthProvider({})])
+
+    def test_keys_fold_in_upstream_keys(self):
+        shallow = Graph([SynthProvider({})]).key_of(SynthNode(1))
+        deep = Graph([SynthProvider({1: (0,)})]).key_of(SynthNode(1))
+        assert shallow != deep
+
+    def test_provider_version_changes_every_downstream_key(self):
+        edges = {1: (0,)}
+        v1 = Graph([SynthProvider(edges, version=1)]).plan([SynthNode(1)])
+        v2 = Graph([SynthProvider(edges, version=2)]).plan([SynthNode(1)])
+        assert v1.keys[SynthNode(0)] != v2.keys[SynthNode(0)]
+        assert v1.keys[SynthNode(1)] != v2.keys[SynthNode(1)]
+
+
+class TestAtMostOnce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_key_builds_exactly_once(self, seed):
+        edges = random_edges(seed)
+        provider = SynthProvider(edges)
+        graph = Graph([provider])
+        targets = [SynthNode(i) for i in (11, 10, 11, 5, 5, 0)]
+        graph.compute_many(targets)
+        assert sorted(provider.build_log) == sorted(set(provider.build_log))
+        assert all(count == 1 for count in graph.builds.values())
+
+    def test_shared_subtree_across_targets_builds_once(self):
+        edges = {2: (0,), 3: (0,), 4: (2, 3)}
+        provider = SynthProvider(edges)
+        graph = Graph([provider])
+        values = graph.compute_many([SynthNode(2), SynthNode(3), SynthNode(4)])
+        assert provider.build_log.count(0) == 1
+        assert values[2] == (4, ((2, ((0, ()),)), (3, ((0, ()),))))
+
+    def test_memo_spans_compute_calls(self):
+        provider = SynthProvider({1: (0,)})
+        graph = Graph([provider])
+        first = graph.compute(SynthNode(1))
+        second = graph.compute(SynthNode(1))
+        assert first == second
+        assert provider.build_log == [0, 1]
+        assert graph.stats.memo_hits >= 1
+
+    def test_label_twin_nodes_share_one_evaluation(self):
+        provider = LabelledProvider()
+        graph = Graph([provider])
+        values = graph.compute_many(
+            [LabelledNode(7, label="fig7"), LabelledNode(7, label="fig9a")]
+        )
+        assert values[0] == values[1] == "value:7"
+        assert len(provider.build_log) == 1
+
+    def test_results_align_with_targets_in_input_order(self):
+        graph = Graph([SynthProvider({})])
+        values = graph.compute_many([SynthNode(2), SynthNode(0), SynthNode(2)])
+        assert [value[0] for value in values] == [2, 0, 2]
+
+
+class TestEvaluation:
+    def test_provider_returning_none_is_an_error(self):
+        class NoneProvider(SynthProvider):
+            def build(self, node, inputs):
+                return None
+
+        with pytest.raises(GraphError, match="returned None"):
+            Graph([NoneProvider({})]).compute(SynthNode(0))
+
+    def test_failed_build_leaves_no_partial_value(self):
+        class Failing(SynthProvider):
+            def build(self, node, inputs):
+                if node.index == 1:
+                    raise RuntimeError("boom")
+                return super().build(node, inputs)
+
+        provider = Failing({1: (0,)})
+        graph = Graph([provider])
+        with pytest.raises(RuntimeError, match="boom"):
+            graph.compute(SynthNode(1))
+        assert graph.value_of(SynthNode(0)) is not None
+        assert graph.value_of(SynthNode(1)) is None
+
+
+class TestPersistence:
+    def test_persisted_artifacts_replay_without_rebuilding(self, tmp_path):
+        edges = random_edges(3)
+        cache = CompileCache(tmp_path / "cache")
+        first = SynthProvider(edges, persist=True)
+        cold = Graph([first], cache=cache)
+        cold_values = cold.compute_many([SynthNode(11), SynthNode(6)])
+        assert cold.stats.disk_puts == cold.stats.built > 0
+
+        second = SynthProvider(edges, persist=True)
+        warm = Graph([second], cache=cache)
+        warm_values = warm.compute_many([SynthNode(11), SynthNode(6)])
+        assert warm_values == cold_values
+        assert second.build_log == []
+        assert warm.stats.built == 0
+        assert warm.stats.disk_hits == len(warm.plan([SynthNode(11), SynthNode(6)]).order)
+
+    def test_version_bump_invalidates_persisted_values(self, tmp_path):
+        cache = CompileCache(tmp_path / "cache")
+        Graph([SynthProvider({}, persist=True, version=1)], cache=cache).compute(SynthNode(0))
+        bumped = SynthProvider({}, persist=True, version=2)
+        Graph([bumped], cache=cache).compute(SynthNode(0))
+        assert bumped.build_log == [0]
+
+    def test_memory_only_cache_never_replays_across_graphs(self, tmp_path):
+        cache = CompileCache(None)  # no disk layer
+        edges = {1: (0,)}
+        Graph([SynthProvider(edges, persist=True)], cache=cache).compute(SynthNode(1))
+        rebuilt = SynthProvider(edges, persist=True)
+        Graph([rebuilt], cache=cache).compute(SynthNode(1))
+        assert rebuilt.build_log == [0, 1]

@@ -10,22 +10,16 @@ chunking only move wall-clock.
 import numpy as np
 import pytest
 
-from repro.circuits.circuit import QuantumCircuit
-from repro.core.compiler import compile_circuit
 from repro.core.strategies import Strategy
 from repro.experiments.sweep import SweepPoint, SweepRunner, evaluate_point, point_seeds
 from repro.noise.model import NoiseModel
 from repro.noise.parallel import resolve_workers, run_parallel_fidelities, split_chunks
 from repro.noise.trajectory import TrajectorySimulator, simulate_fidelity
+from helpers import mixed_physical
 
 
 def _physical(strategy=Strategy.MIXED_RADIX_CCZ):
-    circuit = QuantumCircuit(4, name="parallel-equivalence")
-    circuit.h(0)
-    circuit.cx(0, 1)
-    circuit.ccx(0, 1, 2)
-    circuit.cx(2, 3)
-    return compile_circuit(circuit, strategy).physical_circuit
+    return mixed_physical("parallel-equivalence", strategy=strategy, cswap=False)
 
 
 class TestHelpers:

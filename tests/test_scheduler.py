@@ -26,10 +26,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.compile_cache import reset_cache
 from repro.core.emitter import CompilationError
 from repro.experiments import sweep as sweep_mod
-from repro.experiments.fidelity_sweep import fidelity_sweep_points
 from repro.experiments.scheduler import (
     SHARD_SCHEMA_VERSION,
     JobSpec,
@@ -47,6 +45,8 @@ from repro.experiments.scheduler import (
     save_job,
 )
 from repro.experiments.sweep import SweepRunner, point_key
+from helpers import compile_log_keys
+from helpers import mini_points as _shared_mini_points
 
 REPO_ROOT = Path(__file__).parents[1]
 
@@ -66,10 +66,8 @@ def wait_for_lease_held_by(directory, worker_id, timeout=10.0):
 
 
 def mini_points(num_trajectories=2):
-    """The Fig. 7 mini-grid: cnu-5 under the six Figure 7 strategies."""
-    return fidelity_sweep_points(
-        workloads=("cnu",), sizes=(5,), num_trajectories=num_trajectories, rng=0
-    )
+    """The shared mini-grid, at this suite's lighter default budget."""
+    return _shared_mini_points(num_trajectories=num_trajectories)
 
 
 class FakeClock:
@@ -83,23 +81,6 @@ class FakeClock:
 
     def advance(self, seconds):
         self.now += seconds
-
-
-@pytest.fixture
-def shared_cache(tmp_path, monkeypatch):
-    """A fresh shared REPRO_CACHE_DIR, as workers on a common mount would see."""
-    cache_dir = tmp_path / "cache"
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
-    reset_cache()
-    yield cache_dir
-    reset_cache()
-
-
-def compile_log_keys(cache_dir):
-    log = cache_dir / "compile-log.txt"
-    if not log.exists():
-        return []
-    return [line.split()[1] for line in log.read_text().splitlines()]
 
 
 def make_job(directory, points=None, policy="fifo", **plan_kwargs):

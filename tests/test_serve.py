@@ -16,9 +16,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.compile_cache import reset_cache
 from repro.experiments import serve as serve_mod
-from repro.experiments.fidelity_sweep import fidelity_sweep_points
 from repro.experiments.scheduler import LeasedWorker, SchedulerError, job_status
 from repro.experiments.serve import (
     job_dir,
@@ -29,23 +27,13 @@ from repro.experiments.serve import (
     watch_job,
 )
 from repro.experiments.sweep import SweepRunner
+from helpers import mini_points as _shared_mini_points
 
 REPO_ROOT = Path(__file__).parents[1]
 
 
 def mini_points(num_trajectories=2):
-    return fidelity_sweep_points(
-        workloads=("cnu",), sizes=(5,), num_trajectories=num_trajectories, rng=0
-    )
-
-
-@pytest.fixture
-def shared_cache(tmp_path, monkeypatch):
-    cache_dir = tmp_path / "cache"
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
-    reset_cache()
-    yield cache_dir
-    reset_cache()
+    return _shared_mini_points(num_trajectories=num_trajectories)
 
 
 def drain(root, job_id, worker_id="w0", **kwargs):

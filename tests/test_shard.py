@@ -15,7 +15,6 @@ from repro.core.compile_cache import get_cache, reset_cache
 from repro.core.emitter import CompilationError
 from repro.experiments import shard as shard_mod
 from repro.experiments import sweep as sweep_mod
-from repro.experiments.fidelity_sweep import fidelity_sweep_points
 from repro.experiments.shard import (
     MergeResult,
     ShardError,
@@ -30,30 +29,7 @@ from repro.experiments.shard import (
     shard_status,
 )
 from repro.experiments.sweep import SweepPoint, SweepRunner, point_key
-
-
-def mini_points(num_trajectories=3):
-    """The Fig. 7 mini-grid: cnu-5 under the six Figure 7 strategies."""
-    return fidelity_sweep_points(
-        workloads=("cnu",), sizes=(5,), num_trajectories=num_trajectories, rng=0
-    )
-
-
-@pytest.fixture
-def shared_cache(tmp_path, monkeypatch):
-    """A fresh shared REPRO_CACHE_DIR, as shards on a common mount would see."""
-    cache_dir = tmp_path / "cache"
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
-    reset_cache()
-    yield cache_dir
-    reset_cache()
-
-
-def compile_log_keys(cache_dir):
-    log = cache_dir / "compile-log.txt"
-    if not log.exists():
-        return []
-    return [line.split()[1] for line in log.read_text().splitlines()]
+from helpers import compile_log_keys, mini_points
 
 
 def run_unsharded(points, out_dir):

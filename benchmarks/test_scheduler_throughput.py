@@ -12,6 +12,11 @@ A second, fake-clock pass measures **reclaim latency** — the time between
 a lease's deadline passing and another worker moving it to the graveyard —
 across a staggered kill schedule, and ships the histogram alongside the
 throughput numbers in ``BENCH_scheduler.json``.
+
+A third, fault-injected pass claims and reclaims under a seeded
+:class:`repro.faults.FaultPlan` and ships the injected/retried/quarantined
+counters, so the benchmark artifact records how the lease protocol behaves
+under storage-layer faults, not just on a healthy disk.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from __future__ import annotations
 import json
 import time
 
+from repro import faults
+from repro.core import storage
 from repro.core.compile_cache import get_cache
 from repro.experiments.fidelity_sweep import fidelity_sweep_points
 from repro.experiments.scheduler import (
@@ -81,6 +88,56 @@ def _reclaim_latencies(tmp_path, points):
     return samples
 
 
+def _fault_injection_counters(tmp_path, points):
+    """Claim/reclaim cycles under a seeded fault plan: injected/retried/quarantined.
+
+    Runs the lease protocol (no point evaluation) against a plan injecting
+    torn lease writes, failed links and EIO-on-read, and reports what the
+    storage layer absorbed.  The cycle count is fixed and the plan seeded,
+    so the counters are deterministic run to run.
+    """
+    directory = tmp_path / "fault-job"
+    save_job(plan_job(points), directory)
+    clock = _FakeClock()
+    ttl = 30.0
+    plan = faults.seeded_plan(
+        2024,
+        targets=(("write", "*.lease*"), ("read", "*.lease"), ("link", "*.lease")),
+        num_faults=6,
+        max_at=4,
+        max_arg=16,
+    )
+    storage.reset_storage_stats()
+    crashes = 0
+    with faults.fault_plan(plan):
+        for cycle in range(min(4, len(points))):
+            doomed = LeaseCoordinator(directory, worker_id=f"doomed-{cycle}", ttl=ttl, clock=clock)
+            try:
+                lease = doomed.acquire()
+            except faults.SimulatedCrash:
+                crashes += 1
+                continue
+            if lease is None:
+                continue
+            clock.now = lease.expires_at + 1.0
+            reaper = LeaseCoordinator(directory, worker_id=f"reaper-{cycle}", ttl=ttl, clock=clock)
+            try:
+                reclaimed = reaper.acquire()
+            except faults.SimulatedCrash:
+                crashes += 1
+                continue
+            if reclaimed is not None:
+                reaper.complete(reclaimed)
+    return {
+        "plan_seed": 2024,
+        "injected": plan.stats.as_dict(),
+        "injected_total": plan.stats.total,
+        "worker_crashes": crashes,
+        "retried": storage.STATS.retries,
+        "quarantined": storage.STATS.quarantined,
+    }
+
+
 def _histogram(samples, bucket_width=0.5):
     buckets = {}
     for sample in samples:
@@ -133,11 +190,13 @@ def test_scheduler_throughput_vs_static_sharding(once, benchmark, tmp_path, benc
     static_pps = len(points) / max(static_seconds, 1e-9)
     leased_pps = len(points) / max(leased_seconds, 1e-9)
     latencies = _reclaim_latencies(tmp_path, points)
+    fault_counters = _fault_injection_counters(tmp_path, points)
     print(f"\nscheduler throughput ({len(points)} points, {NUM_WORKERS} sequential workers):")
     print(f"  static shards:  {static_seconds:6.2f} s  ({static_pps:6.2f} points/s)")
     print(f"  leased workers: {leased_seconds:6.2f} s  ({leased_pps:6.2f} points/s)")
     print(f"  relative throughput: {leased_pps / static_pps:6.2f} x")
     print(f"  reclaim latency samples: {[f'{sample:.2f}' for sample in latencies]}")
+    print(f"  fault injection: {fault_counters}")
 
     if bench_artifact_dir is not None:
         artifact = {
@@ -153,6 +212,7 @@ def test_scheduler_throughput_vs_static_sharding(once, benchmark, tmp_path, benc
                 "mean_s": sum(latencies) / len(latencies),
                 "histogram": _histogram(latencies),
             },
+            "fault_injection": fault_counters,
         }
         path = bench_artifact_dir / "BENCH_scheduler.json"
         path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")

@@ -12,6 +12,9 @@ comments, CI output and the ROADMAP's standing-invariants table):
 * ``ENG004`` — lease files are written only by the coordinator,
 * ``ENG005`` — figure/table artifacts are written only through the
   artifact layer (no direct ``write_csv``/``write_json`` in drivers),
+* ``ENG006`` — durable subsystems publish bytes only through
+  :mod:`repro.core.storage` (no bare write-mode ``open``,
+  ``os.replace``/``os.rename``/``os.link`` or ``tempfile`` writes),
 * ``ENV001`` — environment reads go through :mod:`repro.core.env`,
 * ``STAT001`` — the opt-in adaptive estimators are never imported at
   module level by default paths.
@@ -34,6 +37,7 @@ __all__ = [
     "DirectArtifactWriteRule",
     "DirectEnvReadRule",
     "PoolOutsideEngineRule",
+    "RawDurableWriteRule",
     "SetIterationRule",
     "UncachedCompileRule",
     "UnmanagedCompileLogRule",
@@ -562,6 +566,97 @@ class DirectArtifactWriteRule(Rule):
                 )
 
 
+class RawDurableWriteRule(Rule):
+    """ENG006: durable subsystems write bytes only through repro.core.storage."""
+
+    rule_id = "ENG006"
+    title = "raw durable write outside the storage layer"
+    invariant = (
+        "durable-I/O unification: every byte the cache, fastpath, shard, "
+        "scheduler, serve and artifact layers publish goes through "
+        "repro.core.storage (atomic, fault-injectable, retried, "
+        "quarantine-aware); a bare write-mode open, os.replace/rename/link "
+        "or tempfile write re-creates the torn-file and silent-corruption "
+        "bugs the storage layer exists to prevent"
+    )
+    #: The durable subsystems; repro/core/storage.py itself sits outside
+    #: this scope by construction, and the append-only compile log
+    #: (mode "a") is the one sanctioned direct open.
+    scope = (
+        "repro/core/compile_cache.py",
+        "repro/noise/fastpath.py",
+        "repro/experiments/",
+        "repro/artifacts/",
+    )
+
+    _MOVERS = frozenset({"os.replace", "os.rename", "os.link"})
+    _TEMPFILE = frozenset(
+        {
+            "tempfile.NamedTemporaryFile",
+            "tempfile.TemporaryFile",
+            "tempfile.SpooledTemporaryFile",
+            "tempfile.mkstemp",
+            "tempfile.mktemp",
+        }
+    )
+
+    def _write_mode(self, node: ast.Call, mode_position: int) -> str | None:
+        """The call's constant mode string, if it opens for writing."""
+        mode: object = "r"
+        if len(node.args) > mode_position:
+            arg = node.args[mode_position]
+            if not isinstance(arg, ast.Constant):
+                return None
+            mode = arg.value
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                if not isinstance(keyword.value, ast.Constant):
+                    return None
+                mode = keyword.value.value
+        if isinstance(mode, str) and any(flag in mode for flag in ("w", "x", "+")):
+            return mode
+        return None
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, aliases)
+            if name == "open":
+                mode = self._write_mode(node, mode_position=1)
+                if mode is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"open(..., {mode!r}) writes durable bytes directly; "
+                        "publish through repro.core.storage (atomic_write_*)",
+                    )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+                mode = self._write_mode(node, mode_position=0)
+                if mode is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f".open({mode!r}) writes durable bytes directly; "
+                        "publish through repro.core.storage (atomic_write_*)",
+                    )
+            elif name in self._MOVERS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name} moves durable files directly; use "
+                    "repro.core.storage (atomic_write_* / durable_rename / durable_link)",
+                )
+            elif name in self._TEMPFILE:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name} hand-rolls a temp-file publish protocol; "
+                    "repro.core.storage owns the tmp+rename dance",
+                )
+
+
 DEFAULT_RULES: tuple[Rule, ...] = (
     UnseededRngRule(),
     WallClockRule(),
@@ -571,6 +666,7 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     UnmanagedCompileLogRule(),
     UnmanagedLeaseRule(),
     DirectArtifactWriteRule(),
+    RawDurableWriteRule(),
     DirectEnvReadRule(),
     AdaptiveImportRule(),
 )

@@ -22,6 +22,12 @@ targets, dependency order preserved), consults the per-graph value memo and
 :class:`~repro.core.compile_cache.CompileCache` disk layer, and otherwise
 calls the provider's ``build``.  Per-key build counters make the
 at-most-once guarantee auditable from tests and CI gates.
+
+Persistence inherits the compile cache's durability contract: artifacts
+are published atomically through :mod:`repro.core.storage`, corrupt
+entries are quarantined with a reason record (never honoured, never
+silently deleted), and a failing disk layer degrades to in-process
+memoization instead of failing the build.
 """
 
 from __future__ import annotations

@@ -266,7 +266,7 @@ class BenchJSONProvider(Provider):
         return (node.source,)
 
     def build(self, node: BenchJSONArtifact, inputs: Sequence[Any]) -> Any:
-        from repro.experiments.sweep import atomic_write_json
+        from repro.core.storage import atomic_write_json
 
         return str(atomic_write_json(node.path, inputs[0]))
 

@@ -10,16 +10,20 @@ content-addressed store:
   device topology, the error model, the resolved array backend and
   :data:`CACHE_SCHEMA_VERSION` (bumping the version invalidates every
   artifact written by older code),
-* the **value** is the pickled artifact, written atomically
-  (``tmp + os.replace``) under ``$REPRO_CACHE_DIR`` so concurrent writers
-  can never publish a torn file,
+* the **value** is the pickled artifact, published atomically through
+  :mod:`repro.core.storage` under ``$REPRO_CACHE_DIR`` so concurrent
+  writers can never publish a torn file,
 * an in-process **LRU front** keeps the hot artifacts deserialized; without
   ``REPRO_CACHE_DIR`` the cache degrades to exactly that in-memory layer.
 
-Corrupt or unreadable disk entries are treated as misses (and deleted best
-effort), never as errors: the cache can only trade repeated work for disk
-space, it cannot change results — a cached compilation is bit-for-bit the
-pickle round-trip of the original, which is exact for every array payload.
+Corrupt or unreadable disk entries are treated as misses and moved into
+``quarantine/`` with a JSON reason record — never honoured, never silently
+deleted — so every corruption incident stays auditable.  A disk layer that
+stops accepting writes (quota, read-only mounts) degrades the instance to
+in-process-only caching with a counted warning instead of failing
+compilations: the cache can only trade repeated work for disk space, it
+cannot change results — a cached compilation is bit-for-bit the pickle
+round-trip of the original, which is exact for every array payload.
 """
 
 from __future__ import annotations
@@ -27,13 +31,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from tempfile import NamedTemporaryFile
 from typing import Any, Callable, Iterable
 
-from repro.core import env
+from repro.core import env, storage
 
 __all__ = [
     "CACHE_DIR_ENV_VAR",
@@ -179,6 +183,7 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     disk_errors: int = 0
+    degraded: int = 0
 
     @property
     def hits(self) -> int:
@@ -191,6 +196,7 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "disk_errors": self.disk_errors,
+            "degraded": self.degraded,
         }
 
 
@@ -215,6 +221,7 @@ class CompileCache:
         self.memory_entries = memory_entries
         self.stats = CacheStats()
         self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._warned_degraded = False
 
     # -- layout -----------------------------------------------------------------
     @property
@@ -268,18 +275,19 @@ class CompileCache:
     def _disk_get(self, key: str) -> Any | None:
         path = self.path_for(key)
         try:
-            payload = path.read_bytes()
+            payload = storage.read_bytes(path)
+        except FileNotFoundError:
+            return None
         except OSError:
+            # Unreadable (EIO past the retry budget): a miss, counted.  The
+            # entry stays put — the next reader may succeed.
+            self.stats.disk_errors += 1
             return None
         try:
             return pickle.loads(payload)
-        except Exception:
-            # A torn or stale-schema entry: treat as a miss and reap it.
-            self.stats.disk_errors += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except Exception as error:
+            # Torn or stale bytes: never honoured, never silently deleted.
+            self.quarantine_entry(key, "undeserializable cache entry", error=error)
             return None
 
     # -- disk-only access ---------------------------------------------------------
@@ -323,24 +331,40 @@ class CompileCache:
         self._disk_write(key, value)
 
     def _disk_write(self, key: str, value: Any) -> None:
-        path = self.path_for(key)
-        temp_name = None
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with NamedTemporaryFile(dir=path.parent, suffix=".tmp", delete=False) as handle:
-                temp_name = handle.name
-                handle.write(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
-            os.replace(temp_name, path)
-        except (OSError, pickle.PickleError):
-            # Disk trouble (quota, read-only mounts) or an unpicklable
-            # artifact must never fail a compilation; the memory front
-            # already has it.  Reap the half-written temp file, if any.
+            storage.atomic_write_bytes(
+                self.path_for(key), pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except (OSError, pickle.PickleError) as error:
+            # Disk trouble (quota, read-only or vanished mounts) or an
+            # unpicklable artifact must never fail a compilation; the
+            # memory front already has it.
             self.stats.disk_errors += 1
-            if temp_name is not None:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
+            self._degrade(error)
+
+    def _degrade(self, error: Exception) -> None:
+        """Count a disk-layer failure and warn once per instance.
+
+        The instance keeps *trying* the disk on later puts (a transient
+        quota may clear), but callers are told — once, not per artifact —
+        that they are running on in-process caching only.
+        """
+        self.stats.degraded += 1
+        if not self._warned_degraded:
+            self._warned_degraded = True
+            warnings.warn(
+                f"compile cache disk layer at {self.directory} is failing writes "
+                f"({error!r}); degrading to in-process caching only",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def quarantine_entry(self, key: str, reason: str, error: Exception | None = None) -> None:
+        """Move a corrupt disk entry into ``quarantine/`` with a reason record."""
+        self.stats.disk_errors += 1
+        if self.directory is None:
+            return
+        storage.quarantine(self.path_for(key), self.directory, reason, error=error)
 
     def get_or_create(self, key: str, factory: Callable[[], Any]) -> Any:
         """Return the cached artifact, computing and storing it on a miss.

@@ -163,6 +163,30 @@ REGISTRY: tuple[EnvKnob, ...] = (
             "(`watch` streaming and idle leased-worker backoff)."
         ),
     ),
+    EnvKnob(
+        name="REPRO_FAULT_PLAN",
+        kind="string",
+        default="unset (no fault injection)",
+        description=(
+            "Deterministic fault plan for the durable-storage layer: inline JSON "
+            "or a path to a JSON plan file (see `repro.faults`)."
+        ),
+    ),
+    EnvKnob(
+        name="REPRO_RETRY_MAX",
+        kind="int",
+        default="3",
+        description="Maximum attempts for transient durable-I/O failures (EIO class) before giving up.",
+    ),
+    EnvKnob(
+        name="REPRO_RETRY_BASE_S",
+        kind="float",
+        default="0.01",
+        description=(
+            "Base backoff delay in seconds for durable-I/O retries; "
+            "attempt n sleeps `base * 2**n`."
+        ),
+    ),
 )
 
 _BY_NAME: dict[str, EnvKnob] = {entry.name: entry for entry in REGISTRY}

@@ -17,8 +17,9 @@ operations every POSIX mount provides:
   documents — their true count is decided by the data at run time, and
   acquisition order never changes results anyway.
 * :class:`LeaseCoordinator` hands out **leases**: per-point claim files
-  whose creation (tmp write + ``os.link``) and reclamation (``os.rename``
-  into a graveyard) are atomic, so exactly one worker wins any race.
+  whose creation (private write + link) and reclamation (rename into a
+  graveyard) go through :mod:`repro.core.storage` and are atomic, so
+  exactly one worker wins any race.
   Leases carry a wall-clock deadline; holders renew it via heartbeats
   (deadlines only ever move forward), and any worker may reclaim a lease
   whose deadline passed — which is how points held by dead or straggling
@@ -33,9 +34,11 @@ operations every POSIX mount provides:
   run** — for any worker count, kill schedule or lease-TTL setting
   (enforced by ``examples/scheduler_equivalence_check.py`` in CI).
 
-Races lose cleanly, never corrupt: a claim race loses ``os.link``, a
-reclaim race loses ``os.rename``, and the loser simply pulls the next
-point.  The one benign anomaly is double execution — a reclaimed-but-alive
+Races lose cleanly, never corrupt: a claim race loses the exclusive link,
+a reclaim race loses the graveyard rename, and the loser simply pulls the
+next point.  A torn or unreadable lease file is quarantined with a reason
+record (never honoured, never silently deleted) and its point becomes
+claimable again.  The one benign anomaly is double execution — a reclaimed-but-alive
 worker and the reclaimer may both evaluate a point — and every record it
 can write (rows, done markers) is deterministic and attribution-free, so
 double writes are byte-identical, mirroring the compile cache's documented
@@ -63,7 +66,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.core import env
+from repro.core import env, storage
 from repro.core.compile_cache import fingerprint
 from repro.experiments.shard import (
     SHARD_SCHEMA_VERSION,
@@ -319,14 +322,15 @@ class LeaseCoordinator:
         workers/<id>/manifest.json   per-worker shard-style manifests
         workers/<id>/rows.json       per-worker row stores
 
-    Claiming writes the lease to a unique tmp file and ``os.link``\\ s it to
-    the canonical name — creation is exclusive, so losing a race raises
-    ``FileExistsError`` and the loser moves on.  Reclaiming an expired lease
-    ``os.rename``\\ s it into the graveyard — exactly one renamer wins, the
-    loser gets ``FileNotFoundError`` and re-pulls.  Renewal replaces the
-    lease content after a token check, with the deadline only ever moving
-    forward.  Every transition of a lease file goes through this class
-    (rule ``ENG004`` enforces that statically).
+    Claiming writes the lease to a unique private file and links it to the
+    canonical name (:func:`repro.core.storage.durable_link`) — creation is
+    exclusive, so losing a race raises ``FileExistsError`` and the loser
+    moves on.  Reclaiming an expired lease renames it into the graveyard
+    (:func:`repro.core.storage.durable_rename`) — exactly one renamer wins,
+    the loser gets ``FileNotFoundError`` and re-pulls.  Renewal replaces
+    the lease content after a token check, with the deadline only ever
+    moving forward.  Every transition of a lease file goes through this
+    class (rule ``ENG004`` enforces that statically).
     """
 
     def __init__(
@@ -361,12 +365,19 @@ class LeaseCoordinator:
         return self.directory / "failed" / f"{index:05d}.json"
 
     def _read_lease(self, index: int) -> Lease | None:
+        path = self._lease_path(index)
         try:
-            payload = json.loads(self._lease_path(index).read_text(encoding="utf-8"))
+            payload = json.loads(storage.read_text(path))
         except FileNotFoundError:
             return None
         except (OSError, json.JSONDecodeError) as error:
-            raise SchedulerError(f"unreadable lease for point {index}: {error}") from error
+            # A torn or unreadable lease can never be honoured — quarantine
+            # it (reason-recorded, never silently deleted) and treat the
+            # point as claimable again.
+            storage.quarantine(
+                path, self.directory, f"unreadable lease for point {index}", error=error
+            )
+            return None
         return Lease.from_json(payload)
 
     # -- protocol ----------------------------------------------------------------
@@ -408,19 +419,22 @@ class LeaseCoordinator:
         path = self._lease_path(index)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.{self.worker_id}.{self._counter}.tmp")
-        tmp.write_text(json.dumps(lease.to_json(), indent=2) + "\n", encoding="utf-8")
         try:
-            os.link(tmp, path)
-        except FileExistsError:
-            return None
-        finally:
+            storage.write_private_text(tmp, json.dumps(lease.to_json(), indent=2) + "\n")
+            storage.durable_link(tmp, path)
+        except (FileExistsError, OSError):
+            # A racer won the link, or the write/link failed outright
+            # (disk trouble, injected fault): either way we lose cleanly
+            # and move on to the next point.
             tmp.unlink(missing_ok=True)
+            return None
+        tmp.unlink(missing_ok=True)
         return lease
 
     def _reclaim(self, index: int, stale: Lease) -> bool:
         """Move an expired lease into the graveyard; ``False`` if we lost.
 
-        ``os.rename`` is the decider: exactly one reclaimer wins, every
+        The rename is the decider: exactly one reclaimer wins, every
         loser sees ``FileNotFoundError`` and re-pulls.  The graveyard
         record keeps the stale lease plus who reclaimed it when, feeding
         the reclaim-latency histogram in the scheduler benchmark.
@@ -430,15 +444,20 @@ class LeaseCoordinator:
         grave_dir.mkdir(parents=True, exist_ok=True)
         grave = grave_dir / f"{index:05d}.{self.worker_id}.{self._counter}.json"
         try:
-            os.rename(self._lease_path(index), grave)
+            storage.durable_rename(self._lease_path(index), grave)
         except FileNotFoundError:
             return False
+        except OSError:
+            return False  # rename failed outright (injected/transient): lose cleanly
         record = {
             **stale.to_json(),
             "reclaimed_by": self.worker_id,
             "reclaimed_at": self._clock(),
         }
-        atomic_write_json(grave, record)
+        try:
+            atomic_write_json(grave, record)
+        except OSError:
+            pass  # the grave still holds the raw stale lease; attribution is cosmetic
         return True
 
     def renew(self, lease: Lease) -> Lease:

@@ -18,6 +18,11 @@ adds the operator workflow around it:
 * :func:`merge_result` reassembles a finished job into CSV/JSON artifacts
   byte-identical to an unsharded run of the same grid.
 
+Every durable record under the queue root (job specs, leases, markers,
+row stores) is published through :mod:`repro.core.storage` by the
+scheduler layer, so submissions and merges survive kills and injected
+faults without ever tearing a file.
+
 Workers attach to a submitted job with the scheduler CLI::
 
     python -m repro.experiments.scheduler work --dir ROOT/jobs/<job_id>

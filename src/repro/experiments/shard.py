@@ -27,7 +27,11 @@ Byte-identity holds because sweep rows contain only native scalars (str /
 int / float), which round-trip exactly through the per-shard JSON row
 stores, and because the merge re-orders rows by global grid index and then
 writes them through the very same ``write_csv`` / ``write_json`` helpers
-the unsharded runner uses.
+the unsharded runner uses.  Every durable record here (plans, manifests,
+row stores) is published atomically through :mod:`repro.core.storage`
+(via the re-exported ``atomic_write_json``), so a kill can never tear a
+checkpoint — and the chaos harness injects faults at exactly these
+boundaries to prove it.
 
 Command line::
 

@@ -32,6 +32,7 @@ the escape hatch back to them.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import os
 from collections import deque
@@ -39,13 +40,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from pathlib import Path
-from tempfile import NamedTemporaryFile
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.backends import resolve_backend_name
 from repro.core.compile_cache import compilation_cache_key, fingerprint, get_cache
+from repro.core.storage import atomic_write_json, atomic_write_text
 from repro.core.compiler import CompilationResult, QuantumWaltzCompiler
 from repro.core.emitter import CompilationError
 from repro.core.gateset import ErrorModel, GateSet
@@ -566,13 +567,14 @@ def write_csv(rows: Sequence[dict], path: str | Path) -> Path:
     ``stderr`` / ``ess``) still writes one coherent header; rows missing a
     column leave the cell empty.  For uniform grids — every default-mode
     sweep — the union equals the first row's keys, so the bytes are
-    unchanged.
+    unchanged.  Published atomically through :mod:`repro.core.storage`;
+    the bytes are rendered into a string buffer first (``StringIO``
+    preserves the csv module's ``\\r\\n`` terminators exactly, so the
+    byte-identity gates see the historical format).
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     if not rows:
-        path.write_text("")
-        return path
+        return atomic_write_text(path, "")
     fieldnames = list(rows[0])
     seen = set(fieldnames)
     for row in rows[1:]:
@@ -580,34 +582,13 @@ def write_csv(rows: Sequence[dict], path: str | Path) -> Path:
             if name not in seen:
                 seen.add(name)
                 fieldnames.append(name)
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
-        writer.writeheader()
-        writer.writerows(rows)
-    return path
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return atomic_write_text(path, buffer.getvalue())
 
 
 def write_json(rows: Sequence[dict], path: str | Path) -> Path:
     """Write sweep rows to a JSON file (parent directories are created)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(list(rows), indent=2, default=str))
-    return path
-
-
-def atomic_write_json(path: str | Path, payload) -> Path:
-    """Publish JSON with tmp + ``os.replace`` so a kill never tears a file.
-
-    Shared by the failure artifacts here and the shard manifests/row stores
-    (:mod:`repro.experiments.shard`): durable progress records are written
-    exactly when crashes are likely, so they must never be half-written.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with NamedTemporaryFile(
-        "w", dir=path.parent, suffix=".tmp", delete=False, encoding="utf-8"
-    ) as handle:
-        temp_name = handle.name
-        handle.write(json.dumps(payload, indent=2, default=str))
-    os.replace(temp_name, path)
-    return path
+    return atomic_write_text(Path(path), json.dumps(list(rows), indent=2, default=str))

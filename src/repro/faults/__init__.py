@@ -1,0 +1,279 @@
+"""Deterministic fault injection for the durable-storage layer.
+
+Every durable byte this project publishes flows through
+:mod:`repro.core.storage`; this package is the chaos side of that
+contract.  A :class:`FaultPlan` schedules faults **deterministically** —
+by operation kind, path pattern and the *n*-th matching operation — so a
+failing chaos run replays exactly, byte for byte, seed for seed:
+
+* ``torn``   — a write publishes only the first ``arg`` bytes (the rename
+  completes, so readers must *detect* the corruption, never trust it),
+* ``enospc`` — a write raises ``OSError(ENOSPC)`` (non-transient: callers
+  degrade instead of retrying),
+* ``eio``    — a read or write raises ``OSError(EIO)`` (transient: the
+  storage retry policy absorbs one-shot occurrences),
+* ``fail``   — a rename/link raises ``OSError(EIO)`` without moving bytes,
+* ``crash``  — :class:`SimulatedCrash` at the syscall point, leaving disk
+  exactly as a SIGKILL would (temp files stranded, destinations untouched).
+
+Plans activate three ways: programmatically (:func:`install_plan` /
+:func:`fault_plan`), or process-wide through the ``REPRO_FAULT_PLAN``
+environment knob (inline JSON or a path to a JSON file), re-read whenever
+the raw value changes — the same follow-the-environment discipline as the
+compile cache.  :func:`seeded_plan` derives a reproducible rule set from a
+seed by hashing (no RNG state, so DET001 holds even here).
+
+``SimulatedCrash`` deliberately subclasses ``BaseException``: production
+``except Exception`` recovery paths must never swallow an injected crash,
+exactly as they cannot swallow a real SIGKILL.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.core import env
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_OPS",
+    "FAULT_PLAN_ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
+    "SimulatedCrash",
+    "active_plan",
+    "clear_plan",
+    "fault_plan",
+    "install_plan",
+    "seeded_plan",
+]
+
+#: Environment knob carrying a fault plan (inline JSON or a file path).
+FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Operation kinds the storage layer gates: every durable syscall is one.
+FAULT_OPS = ("write", "read", "rename", "link")
+
+#: Injectable failure modes (see the module docstring for semantics).
+FAULT_KINDS = ("torn", "enospc", "eio", "fail", "crash")
+
+#: Which kinds make sense for which operation (used by :func:`seeded_plan`).
+_KIND_MENU = {
+    "write": ("torn", "enospc", "eio", "crash"),
+    "read": ("eio", "crash"),
+    "rename": ("fail", "crash"),
+    "link": ("fail", "crash"),
+}
+
+
+class SimulatedCrash(BaseException):
+    """An injected crash-at-syscall point (process death, not an error).
+
+    Subclasses ``BaseException`` so generic ``except Exception`` recovery
+    code cannot accidentally "handle" a crash that, in production, would
+    have killed the process outright.
+    """
+
+
+@dataclass
+class FaultStats:
+    """Counters of what a plan actually injected, by kind."""
+
+    injected: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.injected.values())
+
+    def record(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def as_dict(self) -> dict[str, int]:
+        return {kind: self.injected.get(kind, 0) for kind in FAULT_KINDS}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: operation kind, path pattern, nth match, mode.
+
+    ``op`` is one of :data:`FAULT_OPS` or ``"*"`` (any operation);
+    ``path`` is an ``fnmatch`` glob tried against every path the gated
+    operation involves (tmp *and* destination for publishes).  ``at``
+    selects the *n*-th matching operation (0-based) — ``None`` fires on
+    every match.  ``arg`` is the torn-write truncation point in bytes.
+    """
+
+    op: str
+    path: str
+    kind: str
+    at: int | None = None
+    arg: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op != "*" and self.op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {self.op!r}; expected one of {FAULT_OPS} or '*'")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+
+    def to_json(self) -> dict:
+        return {"op": self.op, "path": self.path, "kind": self.kind, "at": self.at, "arg": self.arg}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultRule":
+        return cls(
+            op=data["op"],
+            path=data["path"],
+            kind=data["kind"],
+            at=None if data.get("at") is None else int(data["at"]),
+            arg=int(data.get("arg", 0)),
+        )
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over durable operations.
+
+    Rules are consulted in order; every rule whose op/path matches counts
+    the operation against its own match counter, and the first rule whose
+    ``at`` index is met fires.  Counters are plan state, so the same plan
+    object replayed over the same operation sequence injects the same
+    faults at the same points — the property the crash-consistency
+    harness and the ``chaos-equivalence`` CI lane rely on.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule] = (), seed: int | None = None):
+        self.rules = tuple(rules)
+        self.seed = seed
+        self.stats = FaultStats()
+        self._matches = [0] * len(self.rules)
+
+    def match(self, op: str, paths: Sequence[str]) -> FaultRule | None:
+        """Count this operation against every matching rule; return the firing one."""
+        fired: FaultRule | None = None
+        for position, rule in enumerate(self.rules):
+            if rule.op != "*" and rule.op != op:
+                continue
+            if not any(fnmatch(path, rule.path) for path in paths):
+                continue
+            index = self._matches[position]
+            self._matches[position] += 1
+            if fired is None and (rule.at is None or rule.at == index):
+                fired = rule
+        if fired is not None:
+            self.stats.record(fired.kind)
+        return fired
+
+    def reset(self) -> None:
+        """Rewind match counters and stats (replay the plan from the top)."""
+        self.stats = FaultStats()
+        self._matches = [0] * len(self.rules)
+
+    def to_json(self) -> dict:
+        return {"seed": self.seed, "rules": [rule.to_json() for rule in self.rules]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        return cls(
+            rules=tuple(FaultRule.from_json(rule) for rule in data.get("rules", ())),
+            seed=data.get("seed"),
+        )
+
+    @classmethod
+    def from_spec(cls, raw: str) -> "FaultPlan":
+        """Parse a plan from inline JSON or from a path to a JSON file."""
+        text = raw.strip()
+        if not text.startswith("{"):
+            text = Path(text).read_text(encoding="utf-8")
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"unreadable fault plan {raw!r}: {error}") from error
+        return cls.from_json(payload)
+
+
+def seeded_plan(
+    seed: int,
+    targets: Sequence[tuple[str, str]],
+    num_faults: int = 4,
+    max_at: int = 8,
+    max_arg: int = 64,
+) -> FaultPlan:
+    """Derive a reproducible plan from a seed by hashing (no RNG state).
+
+    Each fault picks its (op, path glob) target, kind, firing index and
+    torn-write truncation point from a SHA-256 digest of ``(seed, i)``, so
+    the same seed and targets always produce the same plan — and a CI
+    failure under ``seeded_plan(1234, ...)`` replays exactly on a laptop.
+    """
+    if not targets:
+        raise ValueError("seeded_plan needs at least one (op, path-glob) target")
+    rules = []
+    for index in range(num_faults):
+        digest = hashlib.sha256(f"repro-fault-plan:{seed}:{index}".encode("utf-8")).digest()
+        op, path = targets[digest[0] % len(targets)]
+        menu = _KIND_MENU[op]
+        rules.append(
+            FaultRule(
+                op=op,
+                path=path,
+                kind=menu[digest[1] % len(menu)],
+                at=digest[2] % max_at,
+                arg=digest[3] % max_arg,
+            )
+        )
+    return FaultPlan(rules=rules, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# the process-wide active plan
+# ---------------------------------------------------------------------------
+
+_ACTIVE: FaultPlan | None = None
+_ENV_RAW: str | None = None
+_ENV_PLAN: FaultPlan | None = None
+
+
+def install_plan(plan: FaultPlan) -> FaultPlan:
+    """Activate ``plan`` process-wide (overrides any environment plan)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def clear_plan() -> None:
+    """Deactivate the installed plan (the environment knob still applies)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan the storage layer should consult right now, if any.
+
+    A programmatically installed plan wins; otherwise ``REPRO_FAULT_PLAN``
+    is honoured, re-parsed whenever the raw environment value changes (so
+    tests and long-lived processes always see the current configuration).
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    global _ENV_RAW, _ENV_PLAN
+    raw = env.read_raw(FAULT_PLAN_ENV_VAR) or None
+    if raw != _ENV_RAW:
+        _ENV_RAW = raw
+        _ENV_PLAN = FaultPlan.from_spec(raw) if raw else None
+    return _ENV_PLAN
+
+
+@contextmanager
+def fault_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager: install ``plan`` for the block, then clear it."""
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        clear_plan()

@@ -501,6 +501,15 @@ class RecordStore:
                         STATS.record_disk_hits += 1
                         self._memory_put(key, record)
                         found[key] = record
+            elif bundle is not None:
+                # A bundle that unpickled to something other than a record
+                # dict is corruption the pickle layer could not see:
+                # quarantine it (reason-recorded) rather than ignore it in
+                # place, so the incident is auditable and the next run
+                # republishes a clean bundle.
+                get_cache().quarantine_entry(
+                    bundle_key, "fastpath bundle is not a record dict"
+                )
         STATS.record_misses += sum(1 for key in unique if key not in found)
         return found
 

@@ -1,0 +1,40 @@
+"""Fixture: raw durable-write primitives ENG006 must flag (6 findings)."""
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def torn_publish(path: Path, payload: str) -> None:
+    with open(path, "w") as handle:  # finding: bare write-mode open
+        handle.write(payload)
+
+
+def torn_method_publish(path: Path, payload: str) -> None:
+    with path.open("w") as handle:  # finding: Path.open in write mode
+        handle.write(payload)
+
+
+def hand_rolled_replace(tmp: Path, dst: Path) -> None:
+    os.replace(tmp, dst)  # finding: raw replace
+
+
+def hand_rolled_rename(src: Path, dst: Path) -> None:
+    os.rename(src, dst)  # finding: raw rename
+
+
+def hand_rolled_claim(src: Path, dst: Path) -> None:
+    os.link(src, dst)  # finding: raw link
+
+
+def hand_rolled_tempfile(directory: Path) -> str:
+    with tempfile.NamedTemporaryFile(dir=directory, delete=False) as handle:
+        return handle.name  # finding: hand-rolled temp-file protocol
+
+
+def sanctioned_reads_and_appends(path: Path) -> str:
+    with open(path) as handle:  # clean: read mode
+        first = handle.read()
+    with open(path, "a") as handle:  # clean: append-only audit logs
+        handle.write("audit line\n")
+    return first

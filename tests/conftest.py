@@ -14,8 +14,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.compile_cache import reset_cache
+from repro.core.storage import reset_storage_stats
 from repro.noise.fastpath import reset_fastpath
 
 
@@ -41,6 +43,16 @@ def fresh_fastpath():
     reset_fastpath()
     yield
     reset_fastpath()
+
+
+@pytest.fixture(autouse=True)
+def no_fault_plan():
+    """No test leaks an installed fault plan (or storage counters) to the next."""
+    faults.clear_plan()
+    reset_storage_stats()
+    yield
+    faults.clear_plan()
+    reset_storage_stats()
 
 
 @pytest.fixture

@@ -34,6 +34,7 @@ def run_source(tmp_path: Path, source: str, name: str = "snippet.py") -> list:
         ("bad_env.py", {"ENV001": 3}),
         ("bad_lease.py", {"ENG004": 2}),
         ("bad_artifact_write.py", {"ENG005": 2}),
+        ("bad_durable_write.py", {"ENG006": 6}),
         ("bad_adaptive.py", {"STAT001": 3}),
         ("bad_suppression.py", {"DET002": 1, "SUP001": 1, "SUP002": 1}),
     ],
@@ -178,6 +179,61 @@ def test_artifact_write_rule_scopes_to_experiment_drivers(tmp_path: Path) -> Non
     artifacts.mkdir(parents=True)
     (artifacts / "providers.py").write_text(source, encoding="utf-8")
     assert run_on(artifacts / "providers.py") == []
+
+
+def test_durable_write_rule_scopes_to_durable_subsystems(tmp_path: Path) -> None:
+    source = (
+        "import os\n\n\n"
+        "def publish(tmp: object, dst: object) -> None:\n"
+        "    os.replace(tmp, dst)\n"
+    )
+    # The storage layer itself owns the raw primitives.
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "storage.py").write_text(source, encoding="utf-8")
+    assert run_on(core / "storage.py") == []
+    # The durable subsystems may not touch them.
+    (core / "compile_cache.py").write_text(source, encoding="utf-8")
+    assert [f.rule_id for f in run_on(core / "compile_cache.py")] == ["ENG006"]
+    # Layers outside the durable set (workload builders) stay unscoped.
+    workloads = tmp_path / "repro" / "workloads"
+    workloads.mkdir(parents=True)
+    (workloads / "builder.py").write_text(source, encoding="utf-8")
+    assert run_on(workloads / "builder.py") == []
+
+
+def test_durable_write_rule_allows_reads_and_appends(tmp_path: Path) -> None:
+    findings = run_source(
+        tmp_path,
+        "from pathlib import Path\n\n\n"
+        "def audit(path: Path) -> str:\n"
+        "    with open(path) as handle:\n"
+        "        text = handle.read()\n"
+        '    with open(path, "a") as handle:\n'
+        '        handle.write("line")\n'
+        "    with path.open() as handle:\n"
+        "        text += handle.read()\n"
+        "    return text\n",
+    )
+    assert findings == []
+
+
+def test_durable_write_rule_flags_keyword_mode_and_suppression(tmp_path: Path) -> None:
+    flagged = run_source(
+        tmp_path,
+        "def publish(path: str) -> None:\n"
+        '    with open(path, mode="w") as handle:\n'
+        '        handle.write("x")\n',
+    )
+    assert [f.rule_id for f in flagged] == ["ENG006"]
+    suppressed = run_source(
+        tmp_path,
+        "def publish(path: str) -> None:\n"
+        '    with open(path, mode="w") as handle:  '
+        "# repro-lint: disable=ENG006 -- scratch file below the durable root\n"
+        '        handle.write("x")\n',
+    )
+    assert suppressed == []
 
 
 def test_env_rule_exempts_registry_module(tmp_path: Path) -> None:

@@ -1,5 +1,7 @@
 """Tests for the shared compilation-artifact cache (repro.core.compile_cache)."""
 
+import json
+
 import pytest
 
 from repro.core.compile_cache import (
@@ -95,14 +97,21 @@ class TestCompileCache:
         assert reader.get("deadbeef") == [1, 2, 3]
         assert reader.stats.disk_hits == 1
 
-    def test_corrupt_entry_is_a_miss_and_reaped(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = CompileCache(directory=tmp_path)
         path = cache.path_for("cafebabe")
         path.parent.mkdir(parents=True)
         path.write_bytes(b"definitely not a pickle")
         assert cache.get("cafebabe") is None
         assert cache.stats.disk_errors == 1
+        # Never honoured, never silently deleted: the bytes move into
+        # quarantine/ with a JSON reason record.
         assert not path.exists()
+        quarantined = tmp_path / "quarantine" / path.name
+        assert quarantined.read_bytes() == b"definitely not a pickle"
+        reason = json.loads((tmp_path / "quarantine" / f"{path.name}.reason.json").read_text())
+        assert reason["reason"] == "undeserializable cache entry"
+        assert reason["error"] is not None
 
     def test_get_or_create_computes_once_and_logs(self, tmp_path):
         cache = CompileCache(directory=tmp_path)
